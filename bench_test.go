@@ -1,0 +1,450 @@
+package cloudalloc
+
+// Benchmark harness: one benchmark per paper artifact (see DESIGN.md §4).
+//
+//	BenchmarkFig4NormalizedProfit — Figure 4 series (proposed / modified
+//	  PS / best-found, normalized). Normalized profits are attached as
+//	  custom metrics (proposed/best, ps/best).
+//	BenchmarkFig5WorstCase — Figure 5 worst-case envelope metrics.
+//	BenchmarkComplexityScaling — Section VI decision-time scaling:
+//	  sequential vs cluster-parallel solver across client counts.
+//	BenchmarkDistributedSpeedup — manager + per-cluster agents vs the
+//	  sequential solver.
+//	BenchmarkSimValidation — analytic model vs discrete-event simulation
+//	  (mean relative response-time error as a metric).
+//	BenchmarkAblations — profit of each solver variant relative to full.
+//
+// Absolute numbers are hardware-dependent; the paper-shape assertions
+// live in the test suite and EXPERIMENTS.md records a full run.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/dispatch"
+	"repro/internal/experiment"
+	"repro/internal/model"
+	"repro/internal/multitier"
+	"repro/internal/opt"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// benchScenario builds a deterministic paper-shaped scenario.
+func benchScenario(b *testing.B, n int, seed int64) *model.Scenario {
+	b.Helper()
+	cfg := workload.DefaultConfig()
+	cfg.NumClients = n
+	cfg.Seed = seed
+	scen, err := workload.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return scen
+}
+
+// BenchmarkFig4NormalizedProfit regenerates the Figure 4 comparison on a
+// reduced sweep per iteration and reports the normalized series as
+// metrics. Run cmd/experiments -run fig4 for the full paper-scale sweep.
+func BenchmarkFig4NormalizedProfit(b *testing.B) {
+	for _, n := range []int{20, 50, 100, 200} {
+		b.Run(fmt.Sprintf("clients=%d", n), func(b *testing.B) {
+			cfg := experiment.DefaultSweepConfig()
+			cfg.ClientCounts = []int{n}
+			cfg.ScenariosPerCount = 3
+			cfg.ScenariosAtMaxCount = 3
+			cfg.MCDraws = 30
+			cfg.MCPasses = 3
+			var last experiment.Fig4Row
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				points, err := experiment.RunSweep(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = experiment.Fig4Rows(points)[0]
+			}
+			b.ReportMetric(last.Proposed, "proposed/best")
+			b.ReportMetric(last.ModifiedPS, "ps/best")
+			b.ReportMetric(last.BestFound, "mc/best")
+		})
+	}
+}
+
+// BenchmarkFig5WorstCase regenerates the Figure 5 worst-case envelope on
+// a reduced sweep per iteration.
+func BenchmarkFig5WorstCase(b *testing.B) {
+	for _, n := range []int{20, 100} {
+		b.Run(fmt.Sprintf("clients=%d", n), func(b *testing.B) {
+			cfg := experiment.DefaultSweepConfig()
+			cfg.ClientCounts = []int{n}
+			cfg.ScenariosPerCount = 3
+			cfg.ScenariosAtMaxCount = 3
+			cfg.MCDraws = 30
+			cfg.MCPasses = 3
+			var last experiment.Fig5Row
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				points, err := experiment.RunSweep(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = experiment.Fig5Rows(points)[0]
+			}
+			b.ReportMetric(last.WorstInitialBefore, "worstInit/best")
+			b.ReportMetric(last.WorstInitialAfter, "worstLS/best")
+			b.ReportMetric(last.WorstProposed, "worstProposed/best")
+		})
+	}
+}
+
+// BenchmarkComplexityScaling measures one full solve per iteration at
+// each client count, sequential and cluster-parallel (the paper's
+// distributed speedup claim).
+func BenchmarkComplexityScaling(b *testing.B) {
+	for _, n := range []int{25, 50, 100, 200} {
+		for _, parallel := range []bool{false, true} {
+			name := fmt.Sprintf("clients=%d/parallel=%v", n, parallel)
+			b.Run(name, func(b *testing.B) {
+				scen := benchScenario(b, n, int64(n))
+				cfg := core.DefaultConfig()
+				cfg.Parallel = parallel
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					solver, err := core.NewSolver(scen, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, _, err := solver.Solve(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkDistributedSpeedup runs the manager-with-agents decomposition.
+func BenchmarkDistributedSpeedup(b *testing.B) {
+	for _, n := range []int{50, 100} {
+		b.Run(fmt.Sprintf("clients=%d", n), func(b *testing.B) {
+			scen := benchScenario(b, n, int64(n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				agents := make([]Agent, scen.Cloud.NumClusters())
+				for k := range agents {
+					ag, err := NewLocalAgent(scen, ClusterID(k))
+					if err != nil {
+						b.Fatal(err)
+					}
+					agents[k] = ag
+				}
+				mgr, err := NewManager(scen, agents, DefaultManagerConfig())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := mgr.Solve(); err != nil {
+					b.Fatal(err)
+				}
+				mgr.Close()
+			}
+		})
+	}
+}
+
+// BenchmarkSimValidation solves and simulates one scenario per iteration
+// and reports the model error as metrics.
+func BenchmarkSimValidation(b *testing.B) {
+	cfg := experiment.DefaultValidationConfig()
+	cfg.Clients = 30
+	cfg.Sim.Horizon = 5000
+	cfg.Sim.Warmup = 500
+	var last experiment.ValidationResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, err := experiment.RunValidation(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = v
+	}
+	b.ReportMetric(last.MeanAbsRelRespErr, "respRelErr")
+	b.ReportMetric(last.ProfitRelErr, "profitRelErr")
+}
+
+// BenchmarkAblations evaluates the solver variants and reports the
+// relative profit of the fully-disabled local search.
+func BenchmarkAblations(b *testing.B) {
+	cfg := experiment.DefaultAblationConfig()
+	cfg.Clients = 40
+	cfg.Scenarios = 2
+	var rows []experiment.AblationRow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiment.RunAblation(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Variant == "no-local-search" {
+			b.ReportMetric(r.Relative, "noLS/full")
+		}
+	}
+}
+
+// --- micro-benchmarks of the building blocks ---
+
+// BenchmarkSolveProposed is the raw heuristic cost per solve.
+func BenchmarkSolveProposed(b *testing.B) {
+	for _, n := range []int{50, 200} {
+		b.Run(fmt.Sprintf("clients=%d", n), func(b *testing.B) {
+			scen := benchScenario(b, n, 9)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				solver, err := core.NewSolver(scen, core.DefaultConfig())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := solver.Solve(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkModifiedPS is the baseline's cost per solve.
+func BenchmarkModifiedPS(b *testing.B) {
+	scen := benchScenario(b, 100, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := baseline.SolveModifiedPS(scen, baseline.DefaultPSConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMonteCarloDraw is the cost of one random draw + local search.
+func BenchmarkMonteCarloDraw(b *testing.B) {
+	scen := benchScenario(b, 50, 11)
+	cfg := baseline.DefaultMCConfig()
+	cfg.Draws = 1
+	cfg.MaxSearchPasses = 3
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		if _, err := baseline.RunMonteCarlo(scen, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulate is the discrete-event simulator's throughput.
+func BenchmarkSimulate(b *testing.B) {
+	scen := benchScenario(b, 30, 12)
+	solver, err := core.NewSolver(scen, core.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, _, err := solver.Solve()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sim.Config{Horizon: 2000, Warmup: 200, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		res, err := sim.Simulate(a, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Completed == 0 {
+			b.Fatal("no completions")
+		}
+	}
+}
+
+// BenchmarkComparators runs the quality-vs-time table (proposed vs PS vs
+// MC vs SA vs GA) once per iteration on reduced settings.
+func BenchmarkComparators(b *testing.B) {
+	cfg := experiment.DefaultComparatorConfig()
+	cfg.Clients = 30
+	cfg.Scenarios = 2
+	cfg.MC.Draws = 20
+	cfg.SA.Anneal.Steps = 50
+	cfg.GA.Population = 8
+	cfg.GA.Generations = 4
+	var rows []experiment.ComparatorRow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiment.RunComparators(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Method == "modified PS" {
+			b.ReportMetric(r.Relative, "ps/proposed")
+		}
+		if r.Method == "simulated annealing" {
+			b.ReportMetric(r.Relative, "sa/proposed")
+		}
+	}
+}
+
+// BenchmarkEpochPolicies runs the decision-policy trace experiment.
+func BenchmarkEpochPolicies(b *testing.B) {
+	cfg := experiment.DefaultEpochsConfig()
+	cfg.Clients = 25
+	cfg.Epochs = 8
+	var rows []experiment.EpochsRow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiment.RunEpochsExperiment(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var always, never float64
+	for _, r := range rows {
+		switch r.Policy {
+		case "always":
+			always = r.TotalProfit
+		case "never":
+			never = r.TotalProfit
+		}
+	}
+	if always > 0 {
+		b.ReportMetric(never/always, "never/always")
+	}
+}
+
+// BenchmarkWarmStart measures an epoch re-solve warm vs cold.
+func BenchmarkWarmStart(b *testing.B) {
+	scen := benchScenario(b, 100, 13)
+	solver, err := core.NewSolver(scen, core.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	prev, _, err := solver.Solve()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("warm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := solver.SolveFrom(prev); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := solver.Solve(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkWaterfill is the per-server KKT share solve.
+func BenchmarkWaterfill(b *testing.B) {
+	items := make([]opt.ShareItem, 8)
+	for i := range items {
+		items[i] = opt.ShareItem{
+			Weight:      0.5 + float64(i)*0.3,
+			Exec:        0.4 + 0.05*float64(i),
+			PortionRate: 0.2 + 0.02*float64(i),
+			Cap:         4,
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := opt.WaterfillShares(items, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCombinePortions is the Assign_Distribute dynamic program.
+func BenchmarkCombinePortions(b *testing.B) {
+	const servers, grid = 25, 10
+	rows := make([][]float64, servers)
+	for s := range rows {
+		row := make([]float64, grid+1)
+		for g := 1; g <= grid; g++ {
+			row[g] = float64((s*7+g*3)%11) - 2
+		}
+		rows[s] = row
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := opt.CombinePortions(rows, grid); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAssignDistribute is one client×cluster placement evaluation.
+func BenchmarkAssignDistribute(b *testing.B) {
+	scen := benchScenario(b, 50, 14)
+	solver, err := core.NewSolver(scen, core.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := alloc.New(scen)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := model.ClientID(i % scen.NumClients())
+		if _, _, err := solver.AssignDistribute(a, id, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDispatchRoute is the per-request routing cost.
+func BenchmarkDispatchRoute(b *testing.B) {
+	d, err := dispatch.New([]alloc.Portion{
+		{Server: 0, Alpha: 0.5},
+		{Server: 1, Alpha: 0.3},
+		{Server: 2, Alpha: 0.2},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Route(rng)
+	}
+}
+
+// BenchmarkMultiTier solves a 3-tier × N-apps instance.
+func BenchmarkMultiTier(b *testing.B) {
+	scen := benchScenario(b, 1, 15)
+	apps := make([]multitier.App, 10)
+	for i := range apps {
+		apps[i] = multitier.App{
+			ID: i, Base: 9, Slope: 0.8,
+			ArrivalRate: 1 + float64(i%3)*0.5, PredictedRate: 1 + float64(i%3)*0.5,
+			Tiers: []multitier.Tier{
+				{ProcTime: 0.3, CommTime: 0.5, DiskNeed: 0.3},
+				{ProcTime: 0.8, CommTime: 0.3, DiskNeed: 0.5},
+				{ProcTime: 0.5, CommTime: 0.4, DiskNeed: 1.5},
+			},
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := multitier.Solve(scen.Cloud, apps, multitier.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,303 @@
+// Package cloudalloc is an open-source reproduction of "Maximizing Profit
+// in Cloud Computing System via Resource Allocation" (Goudarzi & Pedram,
+// ICDCS 2011): SLA-based, profit-maximizing allocation of processing,
+// communication and storage resources in a cloud of heterogeneous
+// clusters.
+//
+// The package is a facade over the internal implementation:
+//
+//   - GenerateScenario builds random problem instances with the paper's
+//     parameter distributions (internal/workload).
+//   - NewAllocator runs the paper's Resource_Alloc heuristic
+//     (internal/core): a multi-start greedy initial solution built from
+//     per-cluster Assign_Distribute evaluations, then a local search that
+//     adjusts GPS shares, dispersion rates and the active server set.
+//   - SolveModifiedPS and RunMonteCarlo are the paper's two comparators
+//     (internal/baseline).
+//   - Simulate drives a discrete-event simulation of an allocation to
+//     validate the analytical M/M/1 GPS model (internal/sim).
+//   - NewManager / NewLocalAgent / ServeAgent / DialAgent run the
+//     distributed manager-and-cluster-agents decomposition, in-process or
+//     over TCP (internal/cluster, internal/agentrpc).
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record of every reproduced figure.
+package cloudalloc
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+
+	"repro/internal/agentrpc"
+	"repro/internal/alloc"
+	"repro/internal/baseline"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/queueing"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Core model types, re-exported for users of the public API.
+type (
+	// Scenario is a complete problem instance: cloud plus clients.
+	Scenario = model.Scenario
+	// Cloud describes clusters, servers and classes.
+	Cloud = model.Cloud
+	// Client is one SLA-bearing workload.
+	Client = model.Client
+	// Server is one machine in a cluster.
+	Server = model.Server
+	// ServerClass is a hardware type with capacities and costs.
+	ServerClass = model.ServerClass
+	// UtilityClass is an SLA class with a linear utility of response time.
+	UtilityClass = model.UtilityClass
+	// Cluster is a named group of servers.
+	Cluster = model.Cluster
+	// ClientID identifies a client in a scenario.
+	ClientID = model.ClientID
+	// ServerID identifies a server in a cloud.
+	ServerID = model.ServerID
+	// ClusterID identifies a cluster in a cloud.
+	ClusterID = model.ClusterID
+	// ServerClassID identifies a server class.
+	ServerClassID = model.ServerClassID
+	// UtilityClassID identifies an SLA utility class.
+	UtilityClassID = model.UtilityClassID
+
+	// Allocation is a solution: assignments, dispersion rates and shares.
+	Allocation = alloc.Allocation
+	// Portion is one client's slice on one server.
+	Portion = alloc.Portion
+	// Breakdown decomposes an allocation's profit.
+	Breakdown = alloc.Breakdown
+
+	// SolveStats reports what the allocator did.
+	SolveStats = core.Stats
+
+	// PSConfig tunes the modified Proportional Share baseline.
+	PSConfig = baseline.PSConfig
+	// MCConfig tunes the Monte-Carlo envelope.
+	MCConfig = baseline.MCConfig
+	// Envelope is the Monte-Carlo best/worst profit summary.
+	Envelope = baseline.Envelope
+
+	// SimConfig tunes the discrete-event simulator.
+	SimConfig = sim.Config
+	// SimResult is a simulation outcome.
+	SimResult = sim.Result
+
+	// WorkloadConfig parameterizes scenario generation.
+	WorkloadConfig = workload.Config
+
+	// Agent is a cluster-side worker of the distributed solver.
+	Agent = cluster.Agent
+	// Manager coordinates cluster agents.
+	Manager = cluster.Manager
+	// ManagerConfig tunes the distributed solve.
+	ManagerConfig = cluster.ManagerConfig
+	// ManagerStats reports a distributed solve.
+	ManagerStats = cluster.ManagerStats
+)
+
+// LoadScenario reads a scenario JSON file.
+func LoadScenario(path string) (*Scenario, error) { return model.LoadFile(path) }
+
+// DefaultWorkloadConfig returns the paper's experimental parameters.
+func DefaultWorkloadConfig() WorkloadConfig { return workload.DefaultConfig() }
+
+// GenerateScenario builds a random scenario from the configuration.
+func GenerateScenario(cfg WorkloadConfig) (*Scenario, error) { return workload.Generate(cfg) }
+
+// NewAllocation creates an empty allocation over a validated scenario.
+func NewAllocation(scen *Scenario) *Allocation { return alloc.New(scen) }
+
+// LoadAllocation rebuilds a saved allocation (Allocation.WriteJSON) over
+// the scenario, re-validating every placement.
+func LoadAllocation(scen *Scenario, r io.Reader) (*Allocation, error) {
+	return alloc.ReadJSON(scen, r)
+}
+
+// Option customizes an Allocator.
+type Option interface {
+	apply(*core.Config)
+}
+
+type optionFunc func(*core.Config)
+
+func (f optionFunc) apply(c *core.Config) { f(c) }
+
+// WithSeed fixes the allocator's randomized client ordering.
+func WithSeed(seed int64) Option {
+	return optionFunc(func(c *core.Config) { c.Seed = seed })
+}
+
+// WithInitialSolutions sets the number of greedy multi-start passes
+// (the paper uses 3).
+func WithInitialSolutions(n int) Option {
+	return optionFunc(func(c *core.Config) { c.NumInitSolutions = n })
+}
+
+// WithAlphaGranularity sets the dispersion-rate grid of the
+// Assign_Distribute dynamic program.
+func WithAlphaGranularity(g int) Option {
+	return optionFunc(func(c *core.Config) { c.AlphaGranularity = g })
+}
+
+// WithParallel evaluates and improves clusters concurrently (the paper's
+// distributed decision making, executed with goroutines).
+func WithParallel(on bool) Option {
+	return optionFunc(func(c *core.Config) { c.Parallel = on })
+}
+
+// WithLocalSearchBudget bounds the improvement loop.
+func WithLocalSearchBudget(iters int) Option {
+	return optionFunc(func(c *core.Config) { c.MaxLocalSearchIters = iters })
+}
+
+// WithShadowPriceScale tunes the calibrated capacity shadow price used by
+// the greedy share formula (>1 reserves more headroom for future clients).
+func WithShadowPriceScale(scale float64) Option {
+	return optionFunc(func(c *core.Config) { c.ShadowPriceScale = scale })
+}
+
+// Allocator runs the paper's Resource_Alloc heuristic.
+type Allocator struct {
+	solver *core.Solver
+}
+
+// NewAllocator validates the scenario and prepares a solver.
+func NewAllocator(scen *Scenario, opts ...Option) (*Allocator, error) {
+	cfg := core.DefaultConfig()
+	for _, o := range opts {
+		o.apply(&cfg)
+	}
+	solver, err := core.NewSolver(scen, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Allocator{solver: solver}, nil
+}
+
+// Solve runs the full heuristic and returns the allocation.
+func (al *Allocator) Solve() (*Allocation, SolveStats, error) { return al.solver.Solve() }
+
+// Improve runs the local-search phases on an existing allocation.
+func (al *Allocator) Improve(a *Allocation) {
+	al.solver.ImproveLocal(a, nil)
+}
+
+// Evaluate returns the approximate profit and portions of placing client
+// id on cluster k without mutating the allocation.
+func (al *Allocator) Evaluate(a *Allocation, id ClientID, k ClusterID) (float64, []Portion, error) {
+	return al.solver.AssignDistribute(a, id, k)
+}
+
+// DefaultPSConfig returns the modified Proportional Share defaults.
+func DefaultPSConfig() PSConfig { return baseline.DefaultPSConfig() }
+
+// SolveModifiedPS runs the modified Proportional Share baseline.
+func SolveModifiedPS(scen *Scenario, cfg PSConfig) (*Allocation, error) {
+	return baseline.SolveModifiedPS(scen, cfg)
+}
+
+// DefaultMCConfig returns a medium-effort Monte-Carlo configuration.
+func DefaultMCConfig() MCConfig { return baseline.DefaultMCConfig() }
+
+// RunMonteCarlo computes the random-assignment best/worst envelope.
+func RunMonteCarlo(scen *Scenario, cfg MCConfig) (Envelope, error) {
+	return baseline.RunMonteCarlo(scen, cfg)
+}
+
+// RandomAllocation builds one random-assignment solution using the
+// allocator's cluster-level machinery (useful as a comparison point).
+func (al *Allocator) RandomAllocation(rng *rand.Rand) (*Allocation, error) {
+	return baseline.RandomAssignment(al.solver, rng)
+}
+
+// DefaultSimConfig returns the simulator defaults.
+func DefaultSimConfig() SimConfig { return sim.DefaultConfig() }
+
+// Simulate runs the discrete-event simulation of an allocation.
+func Simulate(a *Allocation, cfg SimConfig) (*SimResult, error) { return sim.Simulate(a, cfg) }
+
+// DefaultManagerConfig returns the distributed-solve defaults.
+func DefaultManagerConfig() ManagerConfig { return cluster.DefaultManagerConfig() }
+
+// NewLocalAgent builds an in-process agent for cluster k.
+func NewLocalAgent(scen *Scenario, k ClusterID, opts ...Option) (Agent, error) {
+	cfg := core.DefaultConfig()
+	for _, o := range opts {
+		o.apply(&cfg)
+	}
+	return cluster.NewLocalAgent(scen, k, cfg)
+}
+
+// NewManager wires a central manager to one agent per cluster.
+func NewManager(scen *Scenario, agents []Agent, cfg ManagerConfig) (*Manager, error) {
+	return cluster.NewManager(scen, agents, cfg)
+}
+
+// AgentServer serves one cluster agent over TCP.
+type AgentServer = agentrpc.Server
+
+// ServeAgent wraps an agent behind a TCP listener; call Serve on the
+// returned server.
+func ServeAgent(l net.Listener, ag Agent) *AgentServer { return agentrpc.NewServer(l, ag) }
+
+// DialAgent connects to a served agent and returns it as an Agent.
+func DialAgent(addr string) (Agent, error) { return agentrpc.Dial(addr) }
+
+// DeadlineMissProbability returns the analytic probability that a request
+// of client id exceeds the deadline under allocation a, aggregated over
+// the client's portions (tail of the tandem M/M/1 sojourn times).
+func DeadlineMissProbability(a *Allocation, id ClientID, deadline float64) (float64, error) {
+	scen := a.Scenario()
+	if !a.Assigned(id) {
+		return 0, fmt.Errorf("cloudalloc: client %d unassigned", id)
+	}
+	cl := &scen.Clients[id]
+	var portions []queueing.Portion
+	for _, p := range a.Portions(id) {
+		class := scen.Cloud.ServerClass(p.Server)
+		portions = append(portions, queueing.Portion{
+			Alpha:  p.Alpha,
+			Shares: queueing.PortionShares{Proc: p.ProcShare, Comm: p.CommShare},
+			Caps:   queueing.ServerCaps{Proc: class.ProcCap, Comm: class.CommCap},
+		})
+	}
+	return queueing.DeadlineMissProbability(portions,
+		queueing.ExecTimes{Proc: cl.ProcTime, Comm: cl.CommTime},
+		cl.PredictedRate, deadline)
+}
+
+// ResponsePercentile returns the analytic q-quantile of client id's
+// response time on one of its portions aggregated as the worst portion
+// percentile (a conservative SLA bound).
+func ResponsePercentile(a *Allocation, id ClientID, q float64) (float64, error) {
+	scen := a.Scenario()
+	if !a.Assigned(id) {
+		return 0, fmt.Errorf("cloudalloc: client %d unassigned", id)
+	}
+	cl := &scen.Clients[id]
+	var worst float64
+	for _, p := range a.Portions(id) {
+		class := scen.Cloud.ServerClass(p.Server)
+		v, err := queueing.TandemSojournPercentile(
+			queueing.PortionShares{Proc: p.ProcShare, Comm: p.CommShare},
+			queueing.ServerCaps{Proc: class.ProcCap, Comm: class.CommCap},
+			queueing.ExecTimes{Proc: cl.ProcTime, Comm: cl.CommTime},
+			p.Alpha*cl.PredictedRate, q,
+		)
+		if err != nil {
+			return 0, err
+		}
+		if v > worst {
+			worst = v
+		}
+	}
+	return worst, nil
+}

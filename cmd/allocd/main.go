@@ -1,0 +1,54 @@
+// Command allocd serves one cluster agent over TCP — the cluster-side
+// half of the paper's distributed decision making. Start one allocd per
+// cluster, then point allocctl (the central manager) at them.
+//
+// Usage:
+//
+//	allocd -scenario scenario.json -cluster 0 -listen 127.0.0.1:7070
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	cloudalloc "repro"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "allocd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("allocd", flag.ContinueOnError)
+	var (
+		path    = fs.String("scenario", "", "scenario JSON path (required)")
+		clustID = fs.Int("cluster", 0, "cluster index this agent manages")
+		listen  = fs.String("listen", "127.0.0.1:7070", "listen address")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *path == "" {
+		return fmt.Errorf("-scenario is required")
+	}
+	scen, err := cloudalloc.LoadScenario(*path)
+	if err != nil {
+		return err
+	}
+	agent, err := cloudalloc.NewLocalAgent(scen, cloudalloc.ClusterID(*clustID))
+	if err != nil {
+		return err
+	}
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	srv := cloudalloc.ServeAgent(l, agent)
+	fmt.Printf("allocd: serving cluster %d of %s on %s\n", *clustID, *path, srv.Addr())
+	return srv.Serve()
+}

@@ -1,0 +1,264 @@
+// Command cloudalloc generates scenarios and runs the profit-maximizing
+// resource allocators on them.
+//
+// Usage:
+//
+//	cloudalloc gen -out scenario.json [-clients 50] [-seed 1]
+//	cloudalloc solve -scenario scenario.json [-method proposed|ps|montecarlo|annealing|genetic|exhaustive] [-simulate]
+//	cloudalloc inspect -scenario scenario.json
+//	cloudalloc trace -scenario scenario.json -out trace.csv [-epochs 24]
+//	cloudalloc controller -scenario scenario.json -trace trace.csv [-policy threshold:0.2] [-predictor ewma:0.5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	cloudalloc "repro"
+	"repro/internal/model"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "cloudalloc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: cloudalloc <gen|solve|inspect|trace|controller|replay> [flags]")
+	}
+	switch args[0] {
+	case "gen":
+		return runGen(args[1:])
+	case "solve":
+		return runSolve(args[1:])
+	case "inspect":
+		return runInspect(args[1:])
+	case "trace":
+		return runTrace(args[1:])
+	case "controller":
+		return runController(args[1:])
+	case "replay":
+		return runReplay(args[1:])
+	default:
+		return fmt.Errorf("unknown command %q (want gen, solve, inspect, trace, controller or replay)", args[0])
+	}
+}
+
+func runGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
+	var (
+		out      = fs.String("out", "scenario.json", "output path")
+		clients  = fs.Int("clients", 50, "number of clients")
+		seed     = fs.Int64("seed", 1, "generator seed")
+		clusters = fs.Int("clusters", 5, "number of clusters")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := cloudalloc.DefaultWorkloadConfig()
+	cfg.NumClients = *clients
+	cfg.Seed = *seed
+	cfg.NumClusters = *clusters
+	scen, err := cloudalloc.GenerateScenario(cfg)
+	if err != nil {
+		return err
+	}
+	if err := scen.SaveFile(*out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d clients, %d clusters, %d servers\n",
+		*out, scen.NumClients(), scen.Cloud.NumClusters(), scen.Cloud.NumServers())
+	return nil
+}
+
+func runSolve(args []string) error {
+	fs := flag.NewFlagSet("solve", flag.ContinueOnError)
+	var (
+		path     = fs.String("scenario", "", "scenario JSON path (required)")
+		method   = fs.String("method", "proposed", "proposed, ps, montecarlo, annealing, genetic or exhaustive")
+		seed     = fs.Int64("seed", 1, "solver seed")
+		parallel = fs.Bool("parallel", false, "parallel per-cluster evaluation")
+		draws    = fs.Int("draws", 200, "Monte-Carlo draws")
+		simulate = fs.Bool("simulate", false, "validate the result with the discrete-event simulator")
+		save     = fs.String("save", "", "write the resulting allocation to this JSON file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *path == "" {
+		return fmt.Errorf("solve: -scenario is required")
+	}
+	scen, err := cloudalloc.LoadScenario(*path)
+	if err != nil {
+		return err
+	}
+
+	var a *cloudalloc.Allocation
+	switch *method {
+	case "proposed":
+		al, err := cloudalloc.NewAllocator(scen, cloudalloc.WithSeed(*seed), cloudalloc.WithParallel(*parallel))
+		if err != nil {
+			return err
+		}
+		var stats cloudalloc.SolveStats
+		a, stats, err = al.Solve()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("proposed: initial %.2f → final %.2f in %d local-search iters (%s)\n",
+			stats.InitialProfit, stats.FinalProfit, stats.LocalSearchIters, stats.Elapsed)
+	case "ps":
+		a, err = cloudalloc.SolveModifiedPS(scen, cloudalloc.DefaultPSConfig())
+		if err != nil {
+			return err
+		}
+	case "montecarlo":
+		cfg := cloudalloc.DefaultMCConfig()
+		cfg.Draws = *draws
+		cfg.Seed = *seed
+		env, err := cloudalloc.RunMonteCarlo(scen, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("monte carlo over %d draws: best %.2f worst %.2f (initial: best %.2f worst %.2f)\n",
+			env.Draws, env.BestOptimized, env.WorstOptimized, env.BestInitial, env.WorstInitial)
+		a = env.Best
+	case "annealing":
+		cfg := cloudalloc.DefaultSAConfig()
+		cfg.Seed = *seed
+		a, err = cloudalloc.SolveAnnealing(scen, cfg)
+		if err != nil {
+			return err
+		}
+	case "genetic":
+		cfg := cloudalloc.DefaultGAConfig()
+		cfg.Seed = *seed
+		a, err = cloudalloc.SolveGenetic(scen, cfg)
+		if err != nil {
+			return err
+		}
+	case "exhaustive":
+		a, err = cloudalloc.SolveExhaustive(scen)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown method %q", *method)
+	}
+
+	printBreakdown(a)
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			return err
+		}
+		if err := a.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("allocation written to %s\n", *save)
+	}
+	if *simulate {
+		cfg := cloudalloc.DefaultSimConfig()
+		res, err := cloudalloc.Simulate(a, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("simulation: %d requests completed, realized profit %.2f (analytic %.2f)\n",
+			res.Completed, res.Profit, res.AnalyticValue)
+	}
+	return nil
+}
+
+func printBreakdown(a *cloudalloc.Allocation) {
+	b := a.ProfitBreakdown()
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "profit\t%.2f\n", b.Profit)
+	fmt.Fprintf(w, "revenue\t%.2f\n", b.Revenue)
+	fmt.Fprintf(w, "energy cost\t%.2f\n", b.EnergyCost)
+	fmt.Fprintf(w, "clients assigned\t%d (served %d)\n", b.Assigned, b.Served)
+	fmt.Fprintf(w, "active servers\t%d\n", b.ActiveServers)
+	w.Flush()
+}
+
+func runInspect(args []string) error {
+	fs := flag.NewFlagSet("inspect", flag.ContinueOnError)
+	path := fs.String("scenario", "", "scenario JSON path (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *path == "" {
+		return fmt.Errorf("inspect: -scenario is required")
+	}
+	scen, err := cloudalloc.LoadScenario(*path)
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "clients\t%d\n", scen.NumClients())
+	fmt.Fprintf(w, "clusters\t%d\n", scen.Cloud.NumClusters())
+	fmt.Fprintf(w, "servers\t%d\n", scen.Cloud.NumServers())
+	fmt.Fprintf(w, "server classes\t%d\n", len(scen.Cloud.ServerClasses))
+	fmt.Fprintf(w, "utility classes\t%d\n", len(scen.Cloud.UtilityClasses))
+	var load, capacity float64
+	for i := range scen.Clients {
+		load += scen.Clients[i].PredictedRate * scen.Clients[i].ProcTime
+	}
+	for j := range scen.Cloud.Servers {
+		capacity += scen.Cloud.ServerClass(model.ServerID(j)).ProcCap
+	}
+	fmt.Fprintf(w, "processing load / capacity\t%.1f / %.1f (%.0f%%)\n",
+		load, capacity, 100*load/capacity)
+	w.Flush()
+	return nil
+}
+
+// runReplay loads a saved allocation and simulates it.
+func runReplay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ContinueOnError)
+	var (
+		path      = fs.String("scenario", "", "scenario JSON path (required)")
+		allocPath = fs.String("alloc", "", "allocation JSON path (required)")
+		horizon   = fs.Float64("horizon", 5000, "simulated time span")
+		seed      = fs.Int64("seed", 1, "simulation seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *path == "" || *allocPath == "" {
+		return fmt.Errorf("replay: -scenario and -alloc are required")
+	}
+	scen, err := cloudalloc.LoadScenario(*path)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(*allocPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	a, err := cloudalloc.LoadAllocation(scen, f)
+	if err != nil {
+		return err
+	}
+	printBreakdown(a)
+	cfg := cloudalloc.DefaultSimConfig()
+	cfg.Horizon = *horizon
+	cfg.Warmup = *horizon / 10
+	cfg.Seed = *seed
+	res, err := cloudalloc.Simulate(a, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("simulation: %d requests, realized profit %.2f (analytic %.2f)\n",
+		res.Completed, res.Profit, res.AnalyticValue)
+	return nil
+}

@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-run", "frobnicate"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-run"}); err == nil {
+		t.Fatal("dangling flag accepted")
+	}
+}

@@ -1,0 +1,68 @@
+// Quickstart: generate a paper-shaped scenario, run the profit-maximizing
+// allocator, and inspect the solution.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	cloudalloc "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A random cloud with the paper's parameter distributions: 5 clusters,
+	// 10 server classes, 5 SLA classes.
+	cfg := cloudalloc.DefaultWorkloadConfig()
+	cfg.NumClients = 60
+	cfg.Seed = 42
+	scen, err := cloudalloc.GenerateScenario(cfg)
+	if err != nil {
+		return err
+	}
+
+	// The Resource_Alloc heuristic: greedy multi-start initial solution,
+	// then local search over shares, dispersion rates and the active set.
+	al, err := cloudalloc.NewAllocator(scen, cloudalloc.WithSeed(1))
+	if err != nil {
+		return err
+	}
+	a, stats, err := al.Solve()
+	if err != nil {
+		return err
+	}
+
+	b := a.ProfitBreakdown()
+	fmt.Printf("solved %d clients in %s\n", b.Assigned, stats.Elapsed)
+	fmt.Printf("profit %.2f = revenue %.2f − energy cost %.2f\n", b.Profit, b.Revenue, b.EnergyCost)
+	fmt.Printf("active servers: %d of %d\n", b.ActiveServers, scen.Cloud.NumServers())
+
+	// Inspect one client's placement: its response time and the servers
+	// its request stream is split across. (Admission control may leave a
+	// few unprofitable clients unserved, so pick the first served one.)
+	id := cloudalloc.ClientID(-1)
+	for i := 0; i < scen.NumClients(); i++ {
+		if a.Assigned(cloudalloc.ClientID(i)) {
+			id = cloudalloc.ClientID(i)
+			break
+		}
+	}
+	if id < 0 {
+		return fmt.Errorf("no client was served")
+	}
+	resp, err := a.ResponseTime(id)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nclient %d: mean response time %.3f, revenue %.2f\n", id, resp, a.Revenue(id))
+	for _, p := range a.Portions(id) {
+		fmt.Printf("  %.0f%% of requests → server %d (proc share %.3f, comm share %.3f)\n",
+			100*p.Alpha, p.Server, p.ProcShare, p.CommShare)
+	}
+	return nil
+}

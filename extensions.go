@@ -1,0 +1,159 @@
+package cloudalloc
+
+import (
+	"io"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/epoch"
+	"repro/internal/multitier"
+	"repro/internal/predict"
+)
+
+// Extension types: decision epochs, stochastic comparators, multi-tier
+// applications.
+type (
+	// EpochConfig drives the decision-epoch controller.
+	EpochConfig = epoch.Config
+	// EpochResult is one epoch's outcome.
+	EpochResult = epoch.Result
+	// RateProcess evolves client arrival rates between epochs.
+	RateProcess = epoch.RateProcess
+	// RandomWalk is a multiplicative random-walk rate process.
+	RandomWalk = epoch.RandomWalk
+	// Burst is a bursty rate process.
+	Burst = epoch.Burst
+	// Trace is a per-epoch, per-client matrix of arrival rates.
+	Trace = epoch.Trace
+	// Pattern shapes a client's rate over epochs.
+	Pattern = epoch.Pattern
+	// Diurnal is a day/night sinusoidal rate pattern.
+	Diurnal = epoch.Diurnal
+	// FlashCrowd is a transient rate spike pattern.
+	FlashCrowd = epoch.FlashCrowd
+	// Policy decides when drift warrants a new cloud-level decision.
+	Policy = epoch.Policy
+	// ThresholdPolicy re-decides on relative rate drift.
+	ThresholdPolicy = epoch.ThresholdPolicy
+	// PeriodicPolicy re-decides on a fixed cadence.
+	PeriodicPolicy = epoch.PeriodicPolicy
+	// AlwaysPolicy re-decides every epoch.
+	AlwaysPolicy = epoch.AlwaysPolicy
+	// NeverPolicy never re-decides after the first epoch.
+	NeverPolicy = epoch.NeverPolicy
+	// ControllerConfig tunes a trace-driven controller run.
+	ControllerConfig = epoch.ControllerConfig
+	// ControllerSummary aggregates a controller run.
+	ControllerSummary = epoch.ControllerSummary
+	// ControllerStep is one epoch of a controller run.
+	ControllerStep = epoch.Step
+
+	// Predictor forecasts next-epoch arrival rates.
+	Predictor = predict.Predictor
+	// PredictMetrics summarize a forecast backtest.
+	PredictMetrics = predict.Metrics
+
+	// SAConfig tunes the simulated-annealing comparator.
+	SAConfig = baseline.SAConfig
+	// GAConfig tunes the genetic-search comparator.
+	GAConfig = baseline.GAConfig
+
+	// Tier is one stage of a multi-tier application.
+	Tier = multitier.Tier
+	// App is a multi-tier application with an end-to-end SLA.
+	App = multitier.App
+	// MultiTierConfig tunes the multi-tier solve.
+	MultiTierConfig = multitier.Config
+	// MultiTierSolution is a multi-tier solve result.
+	MultiTierSolution = multitier.Solution
+	// TierPlacement reports where one tier landed.
+	TierPlacement = multitier.TierPlacement
+)
+
+// DefaultEpochConfig drifts rates with a 10% random walk over 20 epochs,
+// warm-starting like the paper's pseudo-code.
+func DefaultEpochConfig() EpochConfig { return epoch.DefaultConfig() }
+
+// RunEpochs simulates decision epochs with drifting arrival rates,
+// re-solving each epoch (warm or cold) and measuring realized profit.
+func RunEpochs(scen *Scenario, cfg EpochConfig) ([]EpochResult, error) {
+	return epoch.Run(scen, cfg)
+}
+
+// GenerateTrace builds a per-epoch rate trace from base rates, patterns
+// and multiplicative noise.
+func GenerateTrace(base []float64, epochs int, patterns []Pattern, noiseSigma float64, seed int64) (Trace, error) {
+	return epoch.GenerateTrace(base, epochs, patterns, noiseSigma, seed)
+}
+
+// DefaultControllerConfig re-decides on >20% drift with warm starts.
+func DefaultControllerConfig() ControllerConfig { return epoch.DefaultControllerConfig() }
+
+// RunController replays a rate trace against a decision policy: the
+// policy decides when to pay for a new cloud-level allocation, and
+// realized profit is always priced at the actual rates.
+func RunController(scen *Scenario, tr Trace, cfg ControllerConfig) (ControllerSummary, error) {
+	return epoch.RunController(scen, tr, cfg)
+}
+
+// SolveFrom re-solves the allocator's scenario warm-starting from a
+// previous epoch's allocation (paper Figure 3's "state of the cluster at
+// end of prev. epoch").
+func (al *Allocator) SolveFrom(prev *Allocation) (*Allocation, SolveStats, error) {
+	return al.solver.SolveFrom(prev)
+}
+
+// DefaultSAConfig returns a medium-effort annealing schedule.
+func DefaultSAConfig() SAConfig { return baseline.DefaultSAConfig() }
+
+// SolveAnnealing optimizes the client→cluster assignment by simulated
+// annealing (the stochastic alternative the paper names in Section V).
+func SolveAnnealing(scen *Scenario, cfg SAConfig) (*Allocation, error) {
+	return baseline.SolveAnnealing(scen, cfg)
+}
+
+// DefaultGAConfig returns a small genetic-search configuration.
+func DefaultGAConfig() GAConfig { return baseline.DefaultGAConfig() }
+
+// SolveGenetic optimizes the client→cluster assignment with a simple
+// generational genetic algorithm.
+func SolveGenetic(scen *Scenario, cfg GAConfig) (*Allocation, error) {
+	return baseline.SolveGenetic(scen, cfg)
+}
+
+// SolveExhaustive enumerates every client→cluster assignment; tiny
+// instances only (≤ baseline.MaxExhaustiveClients clients).
+func SolveExhaustive(scen *Scenario) (*Allocation, error) {
+	return baseline.SolveExhaustive(scen, core.DefaultConfig())
+}
+
+// DefaultMultiTierConfig uses the standard solver settings.
+func DefaultMultiTierConfig() MultiTierConfig { return multitier.DefaultConfig() }
+
+// SolveMultiTier places every tier of every multi-tier application on the
+// cloud (the paper's future-work extension).
+func SolveMultiTier(cloud Cloud, apps []App, cfg MultiTierConfig) (*MultiTierSolution, error) {
+	return multitier.Solve(cloud, apps, cfg)
+}
+
+// NewLastValuePredictor forecasts a repeat of the last observation.
+func NewLastValuePredictor() Predictor { return predict.NewLastValue() }
+
+// NewEWMAPredictor forecasts with exponential smoothing (0 < alpha ≤ 1).
+func NewEWMAPredictor(alpha float64) (Predictor, error) { return predict.NewEWMA(alpha) }
+
+// NewHoltPredictor forecasts with double exponential smoothing (level +
+// trend).
+func NewHoltPredictor(alpha, beta float64) (Predictor, error) { return predict.NewHolt(alpha, beta) }
+
+// NewSlidingMeanPredictor forecasts the mean of the last window epochs.
+func NewSlidingMeanPredictor(window int) (Predictor, error) { return predict.NewSlidingMean(window) }
+
+// BacktestPredictor replays a trace through a predictor and reports its
+// forecast error.
+func BacktestPredictor(tr Trace, p Predictor) (PredictMetrics, error) {
+	return predict.Backtest(tr, p)
+}
+
+// ReadTraceCSV parses a rate trace written by Trace.WriteCSV.
+func ReadTraceCSV(r io.Reader) (Trace, error) { return epoch.ReadCSV(r) }

@@ -1,0 +1,238 @@
+// Package agentrpc exposes a cluster.Agent over TCP with gob encoding, so
+// the paper's cluster agents can run on separate machines from the
+// central manager. The protocol is a simple synchronous request/response
+// stream per connection.
+package agentrpc
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/alloc"
+	"repro/internal/cluster"
+	"repro/internal/model"
+)
+
+// op enumerates the remote operations.
+type op int
+
+const (
+	opClusterID op = iota + 1
+	opReset
+	opEvaluate
+	opCommit
+	opRemove
+	opImprove
+	opProfit
+	opSnapshot
+)
+
+// request is the wire format of one call.
+type request struct {
+	Op       op
+	Client   model.ClientID
+	Portions []alloc.Portion
+}
+
+// response is the wire format of one reply.
+type response struct {
+	Err      string
+	Cluster  model.ClusterID
+	Eval     cluster.EvalResult
+	Improve  cluster.ImproveStats
+	Profit   float64
+	Snapshot map[model.ClientID][]alloc.Portion
+}
+
+// Server serves one agent to any number of sequential connections.
+type Server struct {
+	listener net.Listener
+	agent    cluster.Agent
+
+	mu sync.Mutex // serializes agent access across connections
+	wg sync.WaitGroup
+}
+
+// NewServer wraps an agent behind a listener. Call Serve to start.
+func NewServer(l net.Listener, ag cluster.Agent) *Server {
+	return &Server{listener: l, agent: ag}
+}
+
+// Serve accepts connections until the listener is closed.
+func (s *Server) Serve() error {
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			s.wg.Wait()
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("agentrpc: accept: %w", err)
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Close stops accepting and waits for in-flight connections.
+func (s *Server) Close() error {
+	err := s.listener.Close()
+	s.wg.Wait()
+	return err
+}
+
+// Addr returns the listener address (useful with ":0" listeners).
+func (s *Server) Addr() net.Addr { return s.listener.Addr() }
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			return // connection closed or corrupt; nothing to reply to
+		}
+		resp := s.dispatch(req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(req request) response {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var resp response
+	var err error
+	switch req.Op {
+	case opClusterID:
+		resp.Cluster, err = s.agent.ClusterID()
+	case opReset:
+		err = s.agent.Reset()
+	case opEvaluate:
+		resp.Eval, err = s.agent.Evaluate(req.Client)
+	case opCommit:
+		err = s.agent.Commit(req.Client, req.Portions)
+	case opRemove:
+		err = s.agent.Remove(req.Client)
+	case opImprove:
+		resp.Improve, err = s.agent.Improve()
+	case opProfit:
+		resp.Profit, err = s.agent.Profit()
+	case opSnapshot:
+		resp.Snapshot, err = s.agent.Snapshot()
+	default:
+		err = fmt.Errorf("agentrpc: unknown op %d", req.Op)
+	}
+	if err != nil {
+		resp.Err = err.Error()
+	}
+	return resp
+}
+
+// RemoteAgent is the client side: a cluster.Agent backed by a TCP
+// connection to a Server.
+type RemoteAgent struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+var _ cluster.Agent = (*RemoteAgent)(nil)
+
+// Dial connects to a served agent.
+func Dial(addr string) (*RemoteAgent, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("agentrpc: dial %s: %w", addr, err)
+	}
+	return &RemoteAgent{
+		conn: conn,
+		enc:  gob.NewEncoder(conn),
+		dec:  gob.NewDecoder(conn),
+	}, nil
+}
+
+// call performs one synchronous round trip.
+func (r *RemoteAgent) call(req request) (response, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.enc.Encode(req); err != nil {
+		return response{}, fmt.Errorf("agentrpc: send: %w", err)
+	}
+	var resp response
+	if err := r.dec.Decode(&resp); err != nil {
+		if errors.Is(err, io.EOF) {
+			return response{}, fmt.Errorf("agentrpc: connection closed: %w", err)
+		}
+		return response{}, fmt.Errorf("agentrpc: receive: %w", err)
+	}
+	if resp.Err != "" {
+		return resp, errors.New(resp.Err)
+	}
+	return resp, nil
+}
+
+// ClusterID implements cluster.Agent.
+func (r *RemoteAgent) ClusterID() (model.ClusterID, error) {
+	resp, err := r.call(request{Op: opClusterID})
+	return resp.Cluster, err
+}
+
+// Reset implements cluster.Agent.
+func (r *RemoteAgent) Reset() error {
+	_, err := r.call(request{Op: opReset})
+	return err
+}
+
+// Evaluate implements cluster.Agent.
+func (r *RemoteAgent) Evaluate(id model.ClientID) (cluster.EvalResult, error) {
+	resp, err := r.call(request{Op: opEvaluate, Client: id})
+	return resp.Eval, err
+}
+
+// Commit implements cluster.Agent.
+func (r *RemoteAgent) Commit(id model.ClientID, portions []alloc.Portion) error {
+	_, err := r.call(request{Op: opCommit, Client: id, Portions: portions})
+	return err
+}
+
+// Remove implements cluster.Agent.
+func (r *RemoteAgent) Remove(id model.ClientID) error {
+	_, err := r.call(request{Op: opRemove, Client: id})
+	return err
+}
+
+// Improve implements cluster.Agent.
+func (r *RemoteAgent) Improve() (cluster.ImproveStats, error) {
+	resp, err := r.call(request{Op: opImprove})
+	return resp.Improve, err
+}
+
+// Profit implements cluster.Agent.
+func (r *RemoteAgent) Profit() (float64, error) {
+	resp, err := r.call(request{Op: opProfit})
+	return resp.Profit, err
+}
+
+// Snapshot implements cluster.Agent.
+func (r *RemoteAgent) Snapshot() (map[model.ClientID][]alloc.Portion, error) {
+	resp, err := r.call(request{Op: opSnapshot})
+	return resp.Snapshot, err
+}
+
+// Close implements cluster.Agent.
+func (r *RemoteAgent) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.conn.Close()
+}

@@ -1,0 +1,211 @@
+package alloc
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/model"
+	"repro/internal/queueing"
+)
+
+// ResponseTime returns the mean response time R̄_i of client i under the
+// current allocation (paper eq. (1)). It returns an error if the client is
+// unassigned or any portion is saturated.
+func (a *Allocation) ResponseTime(i model.ClientID) (float64, error) {
+	if !a.Assigned(i) {
+		return 0, fmt.Errorf("alloc: client %d unassigned", i)
+	}
+	cl := &a.scen.Clients[i]
+	var r float64
+	for _, p := range a.portions[i] {
+		class := a.scen.Cloud.ServerClass(p.Server)
+		d, err := queueing.TandemDelay(
+			queueing.PortionShares{Proc: p.ProcShare, Comm: p.CommShare},
+			queueing.ServerCaps{Proc: class.ProcCap, Comm: class.CommCap},
+			queueing.ExecTimes{Proc: cl.ProcTime, Comm: cl.CommTime},
+			p.Alpha*cl.PredictedRate,
+		)
+		if err != nil {
+			return 0, fmt.Errorf("alloc: client %d portion on server %d: %w", i, p.Server, err)
+		}
+		r += p.Alpha * d
+	}
+	return r, nil
+}
+
+// Revenue returns the revenue earned from client i: λ_i · U_{c(i)}(R̄_i),
+// priced at the agreed arrival rate. Saturated or unassigned clients earn
+// zero.
+func (a *Allocation) Revenue(i model.ClientID) float64 {
+	r, err := a.ResponseTime(i)
+	if err != nil {
+		return 0
+	}
+	return a.scen.Clients[i].ArrivalRate * a.scen.Utility(i).Value(r)
+}
+
+// Active reports whether server j serves at least one portion (paper
+// constraint (3): a server with allocated resources is ON).
+func (a *Allocation) Active(j model.ServerID) bool {
+	return len(a.servers[j].clients) > 0
+}
+
+// ServerCost returns the operation cost of server j under the current
+// allocation: P0 + P1·(processing utilization) when active, 0 otherwise.
+func (a *Allocation) ServerCost(j model.ServerID) float64 {
+	if !a.Active(j) {
+		return 0
+	}
+	class := a.scen.Cloud.ServerClass(j)
+	return class.FixedCost + class.UtilizationCost*a.servers[j].procLoad
+}
+
+// Breakdown decomposes the total profit.
+type Breakdown struct {
+	Revenue       float64
+	EnergyCost    float64
+	Profit        float64
+	ActiveServers int
+	Served        int // clients with positive revenue
+	Assigned      int
+}
+
+// Profit returns total profit: Σ revenue − Σ active-server cost.
+func (a *Allocation) Profit() float64 { return a.ProfitBreakdown().Profit }
+
+// ProfitBreakdown computes the profit and its components in one pass.
+func (a *Allocation) ProfitBreakdown() Breakdown {
+	var b Breakdown
+	for i := range a.scen.Clients {
+		if !a.Assigned(model.ClientID(i)) {
+			continue
+		}
+		b.Assigned++
+		rev := a.Revenue(model.ClientID(i))
+		if rev > 0 {
+			b.Served++
+		}
+		b.Revenue += rev
+	}
+	for j := range a.servers {
+		if cost := a.ServerCost(model.ServerID(j)); cost > 0 {
+			b.EnergyCost += cost
+			b.ActiveServers++
+		}
+	}
+	b.Profit = b.Revenue - b.EnergyCost
+	return b
+}
+
+// ProcShareUsed returns the consumed processing-share budget of server j
+// (including pre-allocated share), in [0,1].
+func (a *Allocation) ProcShareUsed(j model.ServerID) float64 { return a.servers[j].procShare }
+
+// CommShareUsed returns the consumed communication-share budget of server j.
+func (a *Allocation) CommShareUsed(j model.ServerID) float64 { return a.servers[j].commShare }
+
+// DiskUsed returns the reserved disk on server j in absolute units.
+func (a *Allocation) DiskUsed(j model.ServerID) float64 { return a.servers[j].disk }
+
+// ProcUtilization returns the processing-domain utilization of server j
+// from this allocation's portions (the quantity the P1 cost multiplies).
+func (a *Allocation) ProcUtilization(j model.ServerID) float64 { return a.servers[j].procLoad }
+
+// ClientsOn returns the IDs of clients with a portion on server j, in
+// ascending order.
+func (a *Allocation) ClientsOn(j model.ServerID) []model.ClientID {
+	st := &a.servers[j]
+	if len(st.clients) == 0 {
+		return nil
+	}
+	out := make([]model.ClientID, 0, len(st.clients))
+	for id := range st.clients {
+		out = append(out, id)
+	}
+	sortClientIDs(out)
+	return out
+}
+
+// NumActiveServers returns the number of active servers.
+func (a *Allocation) NumActiveServers() int {
+	var n int
+	for j := range a.servers {
+		if a.Active(model.ServerID(j)) {
+			n++
+		}
+	}
+	return n
+}
+
+// NumAssigned returns the number of assigned clients.
+func (a *Allocation) NumAssigned() int {
+	var n int
+	for _, k := range a.clusterOf {
+		if k != Unassigned {
+			n++
+		}
+	}
+	return n
+}
+
+// Clone returns a deep copy of the allocation sharing the (immutable)
+// scenario.
+func (a *Allocation) Clone() *Allocation {
+	c := &Allocation{
+		scen:      a.scen,
+		clusterOf: append([]int(nil), a.clusterOf...),
+		portions:  make([][]Portion, len(a.portions)),
+		servers:   make([]serverState, len(a.servers)),
+	}
+	for i, ps := range a.portions {
+		if len(ps) > 0 {
+			c.portions[i] = append([]Portion(nil), ps...)
+		}
+	}
+	for j, st := range a.servers {
+		cs := st
+		cs.clients = make(map[model.ClientID]struct{}, len(st.clients))
+		for id := range st.clients {
+			cs.clients[id] = struct{}{}
+		}
+		c.servers[j] = cs
+	}
+	return c
+}
+
+// Validate re-derives all server state from the portions and checks every
+// problem constraint; it reports the first violation found. Useful as a
+// post-solver invariant check and in property tests.
+func (a *Allocation) Validate() error {
+	fresh := New(a.scen)
+	for i := range a.scen.Clients {
+		id := model.ClientID(i)
+		if !a.Assigned(id) {
+			continue
+		}
+		if err := fresh.Assign(id, model.ClusterID(a.clusterOf[i]), a.portions[i]); err != nil {
+			return err
+		}
+	}
+	for j := range a.servers {
+		got, want := a.servers[j], fresh.servers[j]
+		if math.Abs(got.procShare-want.procShare) > 1e-6 ||
+			math.Abs(got.commShare-want.commShare) > 1e-6 ||
+			math.Abs(got.disk-want.disk) > 1e-6 ||
+			math.Abs(got.procLoad-want.procLoad) > 1e-6 ||
+			len(got.clients) != len(want.clients) {
+			return fmt.Errorf("alloc: server %d bookkeeping drifted: have %+v want %+v", j, got, want)
+		}
+	}
+	return nil
+}
+
+func sortClientIDs(ids []model.ClientID) {
+	// Insertion sort: server client sets are small and this avoids an
+	// import cycle on sort wrappers.
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}

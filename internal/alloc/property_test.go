@@ -1,0 +1,138 @@
+package alloc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+	"repro/internal/queueing"
+	"repro/internal/workload"
+)
+
+// randomFeasiblePortions builds a feasible portion set for client i on a
+// random cluster given the current allocation state, or nil if the dice
+// land on nothing feasible.
+func randomFeasiblePortions(rng *rand.Rand, a *Allocation, i model.ClientID) (model.ClusterID, []Portion) {
+	scen := a.Scenario()
+	k := model.ClusterID(rng.Intn(scen.Cloud.NumClusters()))
+	cl := &scen.Clients[i]
+	servers := scen.Cloud.ClusterServers(k)
+
+	// Pick 1..3 distinct servers with disk headroom.
+	perm := rng.Perm(len(servers))
+	var chosen []model.ServerID
+	for _, si := range perm {
+		j := servers[si]
+		class := scen.Cloud.ServerClass(j)
+		if a.DiskUsed(j)+cl.DiskNeed > class.StoreCap {
+			continue
+		}
+		chosen = append(chosen, j)
+		if len(chosen) == 1+rng.Intn(3) {
+			break
+		}
+	}
+	if len(chosen) == 0 {
+		return 0, nil
+	}
+	alpha := 1.0 / float64(len(chosen))
+	var ps []Portion
+	for _, j := range chosen {
+		class := scen.Cloud.ServerClass(j)
+		rate := alpha * cl.PredictedRate
+		floorP := queueing.MinStableShare(class.ProcCap, cl.ProcTime, rate)
+		floorB := queueing.MinStableShare(class.CommCap, cl.CommTime, rate)
+		phiP := floorP * (1.2 + rng.Float64())
+		phiB := floorB * (1.2 + rng.Float64())
+		if a.ProcShareUsed(j)+phiP > 1 || a.CommShareUsed(j)+phiB > 1 {
+			return 0, nil
+		}
+		ps = append(ps, Portion{Server: j, Alpha: alpha, ProcShare: phiP, CommShare: phiB})
+	}
+	return k, ps
+}
+
+// TestAllocationStateMachineProperty drives random assign/unassign/
+// reassign sequences and checks that the incremental bookkeeping always
+// matches a from-scratch rebuild (Validate) and that profit stays finite.
+func TestAllocationStateMachineProperty(t *testing.T) {
+	cfg := workload.DefaultConfig()
+	cfg.NumClients = 12
+	cfg.MinServersPerCluster = 3
+	cfg.MaxServersPerCluster = 5
+	f := func(seed int64) bool {
+		wcfg := cfg
+		wcfg.Seed = seed
+		scen, err := workload.Generate(wcfg)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		a := New(scen)
+		for op := 0; op < 60; op++ {
+			i := model.ClientID(rng.Intn(scen.NumClients()))
+			switch {
+			case !a.Assigned(i):
+				if k, ps := randomFeasiblePortions(rng, a, i); ps != nil {
+					// Assign may legitimately fail on borderline shares;
+					// state must stay clean either way.
+					_ = a.Assign(i, k, ps)
+				}
+			case rng.Float64() < 0.5:
+				a.Unassign(i)
+			default:
+				if k, ps := randomFeasiblePortions(rng, a, i); ps != nil {
+					_ = a.Reassign(i, k, ps)
+				}
+			}
+		}
+		if err := a.Validate(); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		p := a.Profit()
+		return p == p && p < 1e12 && p > -1e12 // finite, sane
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCloneEqualsOriginalProperty: a clone reports identical profit,
+// response times and server state.
+func TestCloneEqualsOriginalProperty(t *testing.T) {
+	cfg := workload.DefaultConfig()
+	cfg.NumClients = 8
+	f := func(seed int64) bool {
+		wcfg := cfg
+		wcfg.Seed = seed
+		scen, err := workload.Generate(wcfg)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		a := New(scen)
+		for i := 0; i < scen.NumClients(); i++ {
+			if k, ps := randomFeasiblePortions(rng, a, model.ClientID(i)); ps != nil {
+				_ = a.Assign(model.ClientID(i), k, ps)
+			}
+		}
+		c := a.Clone()
+		if a.Profit() != c.Profit() || a.NumActiveServers() != c.NumActiveServers() {
+			return false
+		}
+		for j := 0; j < scen.Cloud.NumServers(); j++ {
+			id := model.ServerID(j)
+			if a.ProcShareUsed(id) != c.ProcShareUsed(id) ||
+				a.DiskUsed(id) != c.DiskUsed(id) ||
+				a.ProcUtilization(id) != c.ProcUtilization(id) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

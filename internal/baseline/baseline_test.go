@@ -1,0 +1,196 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+func genScenario(t *testing.T, n int, seed int64) *model.Scenario {
+	t.Helper()
+	cfg := workload.DefaultConfig()
+	cfg.NumClients = n
+	cfg.Seed = seed
+	scen, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return scen
+}
+
+func TestModifiedPSProducesValidAllocation(t *testing.T) {
+	scen := genScenario(t, 30, 1)
+	a, err := SolveModifiedPS(scen, DefaultPSConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.NumAssigned() == 0 {
+		t.Fatal("PS placed no clients")
+	}
+}
+
+func TestModifiedPSConfigValidation(t *testing.T) {
+	scen := genScenario(t, 5, 1)
+	if _, err := SolveModifiedPS(scen, PSConfig{Headroom: 1.05}); err == nil {
+		t.Fatal("empty sweep accepted")
+	}
+	if _, err := SolveModifiedPS(scen, PSConfig{ActiveFractions: []float64{0.5}, Headroom: 0.9}); err == nil {
+		t.Fatal("headroom <= 1 accepted")
+	}
+	if _, err := SolveModifiedPS(scen, PSConfig{ActiveFractions: []float64{1.5}, Headroom: 1.1}); err == nil {
+		t.Fatal("fraction > 1 accepted")
+	}
+}
+
+func TestModifiedPSSweepPicksBest(t *testing.T) {
+	scen := genScenario(t, 30, 2)
+	full, err := SolveModifiedPS(scen, DefaultPSConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := SolveModifiedPS(scen, PSConfig{ActiveFractions: []float64{1.0}, Headroom: 1.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Profit() < single.Profit()-1e-9 {
+		t.Fatalf("sweep (%v) worse than its own member (%v)", full.Profit(), single.Profit())
+	}
+}
+
+func TestProposedBeatsModifiedPS(t *testing.T) {
+	// The headline qualitative claim of Figure 4: the proposed heuristic
+	// clearly beats the modified PS baseline.
+	scen := genScenario(t, 40, 3)
+	solver, err := core.NewSolver(scen, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	proposed, _, err := solver.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := SolveModifiedPS(scen, DefaultPSConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proposed.Profit() <= ps.Profit() {
+		t.Fatalf("proposed %v should beat PS %v", proposed.Profit(), ps.Profit())
+	}
+}
+
+func TestRandomAssignmentValid(t *testing.T) {
+	scen := genScenario(t, 25, 4)
+	solver, err := core.NewSolver(scen, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	a, err := RandomAssignment(solver, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.NumAssigned() != 25 {
+		t.Fatalf("random assignment placed %d of 25", a.NumAssigned())
+	}
+}
+
+func TestReassignmentSearchImproves(t *testing.T) {
+	scen := genScenario(t, 25, 5)
+	solver, err := core.NewSolver(scen, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	a, err := RandomAssignment(solver, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := a.Profit()
+	ReassignmentSearch(solver, a, 10)
+	if a.Profit() < before-1e-9 {
+		t.Fatalf("local search regressed: %v -> %v", before, a.Profit())
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMonteCarloEnvelope(t *testing.T) {
+	scen := genScenario(t, 20, 6)
+	cfg := DefaultMCConfig()
+	cfg.Draws = 8
+	cfg.MaxSearchPasses = 3
+	env, err := RunMonteCarlo(scen, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Draws != 8 {
+		t.Fatalf("draws = %d", env.Draws)
+	}
+	if env.Best == nil {
+		t.Fatal("no best allocation recorded")
+	}
+	if err := env.Best.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if env.BestInitial < env.WorstInitial {
+		t.Fatalf("initial envelope inverted: %v < %v", env.BestInitial, env.WorstInitial)
+	}
+	if env.BestOptimized < env.WorstOptimized {
+		t.Fatalf("optimized envelope inverted: %+v", env)
+	}
+	if env.BestOptimized < env.BestInitial-1e-9 {
+		t.Fatalf("optimization made the best draw worse: %+v", env)
+	}
+	if env.WorstOptimized < env.WorstInitial-1e-9 {
+		t.Fatalf("worst optimized %v below worst initial %v", env.WorstOptimized, env.WorstInitial)
+	}
+	if math.Abs(env.Best.Profit()-env.BestOptimized) > 1e-9 {
+		t.Fatalf("best allocation profit %v != recorded %v", env.Best.Profit(), env.BestOptimized)
+	}
+}
+
+func TestRunMonteCarloRejectsBadConfig(t *testing.T) {
+	scen := genScenario(t, 5, 7)
+	cfg := DefaultMCConfig()
+	cfg.Draws = 0
+	if _, err := RunMonteCarlo(scen, cfg); err == nil {
+		t.Fatal("zero draws accepted")
+	}
+	cfg = DefaultMCConfig()
+	cfg.Solver.AlphaGranularity = -1
+	if _, err := RunMonteCarlo(scen, cfg); err == nil {
+		t.Fatal("invalid solver config accepted")
+	}
+}
+
+func TestMonteCarloDeterministic(t *testing.T) {
+	scen := genScenario(t, 15, 8)
+	cfg := DefaultMCConfig()
+	cfg.Draws = 5
+	cfg.MaxSearchPasses = 2
+	e1, err := RunMonteCarlo(scen, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := RunMonteCarlo(scen, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.BestOptimized != e2.BestOptimized || e1.WorstInitial != e2.WorstInitial {
+		t.Fatalf("same seed, different envelopes: %+v vs %+v", e1, e2)
+	}
+}
+
+// randSource builds a deterministic rand.Rand for tests.
+func randSource(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

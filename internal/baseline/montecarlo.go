@@ -1,0 +1,136 @@
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/alloc"
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// MCConfig tunes the Monte-Carlo envelope.
+type MCConfig struct {
+	// Draws is the number of random solutions to generate (the paper uses
+	// at least 10,000 per scenario).
+	Draws int
+	// Seed drives the random assignments.
+	Seed int64
+	// MaxSearchPasses bounds the per-draw client-reassignment local
+	// search ("repeats until no further reassignment is possible").
+	MaxSearchPasses int
+	// Solver configures the cluster-level resource allocation used for
+	// every random assignment (the paper allocates resources in clusters
+	// "based on the proposed solution").
+	Solver core.Config
+}
+
+// DefaultMCConfig returns a medium-effort configuration; benchmarks raise
+// Draws to the paper's numbers.
+func DefaultMCConfig() MCConfig {
+	cfg := core.DefaultConfig()
+	return MCConfig{
+		Draws:           200,
+		Seed:            1,
+		MaxSearchPasses: 10,
+		Solver:          cfg,
+	}
+}
+
+// Envelope summarizes a Monte-Carlo run. "Initial" profits are measured
+// right after the random assignment; "optimized" profits after the
+// client-reassignment local search.
+type Envelope struct {
+	Draws          int
+	BestInitial    float64
+	WorstInitial   float64
+	BestOptimized  float64
+	WorstOptimized float64
+	// Best is the best optimized allocation found.
+	Best *alloc.Allocation
+}
+
+// RunMonteCarlo generates Draws random client→cluster assignments with
+// proposed-solution resource allocation inside each cluster, optimizes
+// each with the client-level reassignment search, and reports the
+// best/worst envelope (paper Section VI, Figures 4 and 5).
+func RunMonteCarlo(scen *model.Scenario, cfg MCConfig) (Envelope, error) {
+	if cfg.Draws <= 0 {
+		return Envelope{}, fmt.Errorf("baseline: Draws = %d", cfg.Draws)
+	}
+	solver, err := core.NewSolver(scen, cfg.Solver)
+	if err != nil {
+		return Envelope{}, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	env := Envelope{
+		Draws:          cfg.Draws,
+		BestInitial:    math.Inf(-1),
+		WorstInitial:   math.Inf(1),
+		BestOptimized:  math.Inf(-1),
+		WorstOptimized: math.Inf(1),
+	}
+	for d := 0; d < cfg.Draws; d++ {
+		a, err := RandomAssignment(solver, rng)
+		if err != nil {
+			return Envelope{}, err
+		}
+		p0 := a.Profit()
+		env.BestInitial = math.Max(env.BestInitial, p0)
+		env.WorstInitial = math.Min(env.WorstInitial, p0)
+
+		ReassignmentSearch(solver, a, cfg.MaxSearchPasses)
+		p1 := a.Profit()
+		env.WorstOptimized = math.Min(env.WorstOptimized, p1)
+		if p1 > env.BestOptimized {
+			env.BestOptimized = p1
+			env.Best = a
+		}
+	}
+	return env, nil
+}
+
+// RandomAssignment assigns every client to a uniformly random cluster
+// (falling back to the remaining clusters in random order when the drawn
+// one cannot host it) with the proposed cluster-level resource allocation.
+func RandomAssignment(solver *core.Solver, rng *rand.Rand) (*alloc.Allocation, error) {
+	scen := solver.Scenario()
+	a := alloc.New(scen)
+	numK := scen.Cloud.NumClusters()
+	for _, ci := range rng.Perm(scen.NumClients()) {
+		i := model.ClientID(ci)
+		for _, k := range rng.Perm(numK) {
+			_, portions, err := solver.AssignDistribute(a, i, model.ClusterID(k))
+			if err != nil {
+				if errors.Is(err, core.ErrCannotPlace) {
+					continue
+				}
+				return nil, err
+			}
+			if err := a.Assign(i, model.ClusterID(k), portions); err == nil {
+				break
+			}
+		}
+	}
+	return a, nil
+}
+
+// ReassignmentSearch is the client-level local search used on random
+// solutions: each client in turn is removed and re-placed on its best
+// cluster; passes repeat until no reassignment improves the profit or the
+// pass budget is exhausted. It delegates to the solver's cloud-level
+// ReassignmentPass (the same move the proposed heuristic uses). Returns
+// the number of improving moves.
+func ReassignmentSearch(solver *core.Solver, a *alloc.Allocation, maxPasses int) int {
+	var moves int
+	for pass := 0; pass < maxPasses; pass++ {
+		m := solver.ReassignmentPass(a)
+		moves += m
+		if m == 0 {
+			break
+		}
+	}
+	return moves
+}

@@ -1,0 +1,150 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func TestSolveAnnealingProducesValidSolution(t *testing.T) {
+	scen := genScenario(t, 15, 10)
+	cfg := DefaultSAConfig()
+	cfg.Anneal.Steps = 60
+	a, err := SolveAnnealing(scen, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.NumAssigned() == 0 {
+		t.Fatal("annealing placed nothing")
+	}
+}
+
+func TestSolveAnnealingBeatsRandomStart(t *testing.T) {
+	scen := genScenario(t, 15, 11)
+	cfg := DefaultSAConfig()
+	cfg.Anneal.Steps = 120
+	a, err := SolveAnnealing(scen, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evaluate the raw random start the annealer began from.
+	solver, err := core.NewSolver(scen, cfg.Solver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd, err := RandomAssignment(solver, randSource(cfg.Seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Profit() < rnd.Profit()-1e-9 {
+		t.Fatalf("annealing (%v) worse than a random draw (%v)", a.Profit(), rnd.Profit())
+	}
+}
+
+func TestSolveAnnealingConfigValidation(t *testing.T) {
+	scen := genScenario(t, 5, 12)
+	cfg := DefaultSAConfig()
+	cfg.Anneal.Steps = 0
+	if _, err := SolveAnnealing(scen, cfg); err == nil {
+		t.Fatal("zero steps accepted")
+	}
+	cfg = DefaultSAConfig()
+	cfg.Anneal.Cooling = 1.5
+	if _, err := SolveAnnealing(scen, cfg); err == nil {
+		t.Fatal("cooling > 1 accepted")
+	}
+}
+
+func TestSolveGeneticProducesValidSolution(t *testing.T) {
+	scen := genScenario(t, 15, 13)
+	cfg := DefaultGAConfig()
+	cfg.Population = 8
+	cfg.Generations = 4
+	a, err := SolveGenetic(scen, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.NumAssigned() == 0 {
+		t.Fatal("GA placed nothing")
+	}
+}
+
+func TestSolveGeneticConfigValidation(t *testing.T) {
+	scen := genScenario(t, 5, 14)
+	cfg := DefaultGAConfig()
+	cfg.Population = 1
+	if _, err := SolveGenetic(scen, cfg); err == nil {
+		t.Fatal("population 1 accepted")
+	}
+	cfg = DefaultGAConfig()
+	cfg.Elite = cfg.Population
+	if _, err := SolveGenetic(scen, cfg); err == nil {
+		t.Fatal("elite >= population accepted")
+	}
+	cfg = DefaultGAConfig()
+	cfg.MutationRate = 2
+	if _, err := SolveGenetic(scen, cfg); err == nil {
+		t.Fatal("mutation rate 2 accepted")
+	}
+}
+
+func TestSolveExhaustiveTinyInstance(t *testing.T) {
+	// The heuristic tracks the polished exhaustive optimum closely on
+	// average (the paper's ≤9%-gap claim in miniature); single adversarial
+	// seeds may dip lower.
+	var ratioSum float64
+	const seeds = 5
+	for s := int64(0); s < seeds; s++ {
+		wcfg := workload.DefaultConfig()
+		wcfg.NumClients = 4
+		wcfg.NumClusters = 3
+		wcfg.MinServersPerCluster = 2
+		wcfg.MaxServersPerCluster = 3
+		wcfg.Seed = 15 + s
+		scen, err := workload.Generate(wcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exh, err := SolveExhaustive(scen, core.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := exh.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		solver, err := core.NewSolver(scen, core.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		prop, _, err := solver.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := prop.Profit() / exh.Profit()
+		if ratio < 0.75 {
+			t.Errorf("seed %d: heuristic %v far below exhaustive %v", wcfg.Seed, prop.Profit(), exh.Profit())
+		}
+		if ratio > 1+1e-6 {
+			t.Errorf("seed %d: exhaustive %v below heuristic %v — enumeration bug",
+				wcfg.Seed, exh.Profit(), prop.Profit())
+		}
+		ratioSum += ratio
+	}
+	if mean := ratioSum / seeds; mean < 0.9 {
+		t.Fatalf("mean heuristic/exhaustive ratio %v below the paper's band", mean)
+	}
+}
+
+func TestSolveExhaustiveRejectsLargeInstance(t *testing.T) {
+	scen := genScenario(t, MaxExhaustiveClients+1, 16)
+	if _, err := SolveExhaustive(scen, core.DefaultConfig()); err == nil {
+		t.Fatal("oversized instance accepted")
+	}
+}

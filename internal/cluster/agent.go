@@ -1,0 +1,165 @@
+// Package cluster implements the paper's distributed decision making: a
+// central manager holds the client set while one agent per cluster
+// evaluates placements and improves its own cluster in parallel (Section
+// V: "the local agents are used to parallelize the solution and decrease
+// the decision time"). Agents can run in-process (LocalAgent) or behind a
+// TCP transport (internal/agentrpc).
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/alloc"
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// EvalResult is an agent's bid for hosting a client.
+type EvalResult struct {
+	// Feasible is false when the cluster cannot host the client.
+	Feasible bool
+	// Est is the approximate profit of the placement.
+	Est float64
+	// Portions realize the placement.
+	Portions []alloc.Portion
+}
+
+// ImproveStats reports one cluster-local improvement round.
+type ImproveStats struct {
+	Activations   int
+	Deactivations int
+	Profit        float64
+}
+
+// Agent is the cluster-side interface of the distributed solver.
+type Agent interface {
+	// ClusterID identifies the cluster the agent manages.
+	ClusterID() (model.ClusterID, error)
+	// Reset clears all assignments (start of a fresh initial solution).
+	Reset() error
+	// Evaluate bids for hosting client id against current cluster state.
+	Evaluate(id model.ClientID) (EvalResult, error)
+	// Commit places client id with the given portions.
+	Commit(id model.ClientID, portions []alloc.Portion) error
+	// Remove unassigns client id.
+	Remove(id model.ClientID) error
+	// Improve runs one round of cluster-local search phases.
+	Improve() (ImproveStats, error)
+	// Profit returns the cluster-local profit.
+	Profit() (float64, error)
+	// Snapshot returns the cluster's current assignments.
+	Snapshot() (map[model.ClientID][]alloc.Portion, error)
+	// Close releases agent resources.
+	Close() error
+}
+
+// LocalAgent runs a cluster agent in-process.
+type LocalAgent struct {
+	k      model.ClusterID
+	solver *core.Solver
+	a      *alloc.Allocation
+}
+
+var _ Agent = (*LocalAgent)(nil)
+
+// NewLocalAgent builds an agent for cluster k of the scenario.
+func NewLocalAgent(scen *model.Scenario, k model.ClusterID, cfg core.Config) (*LocalAgent, error) {
+	if int(k) < 0 || int(k) >= scen.Cloud.NumClusters() {
+		return nil, fmt.Errorf("cluster: unknown cluster %d", k)
+	}
+	// Agents are single-cluster sequential workers; the manager provides
+	// the parallelism.
+	cfg.Parallel = false
+	solver, err := core.NewSolver(scen, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &LocalAgent{k: k, solver: solver, a: alloc.New(scen)}, nil
+}
+
+// ClusterID implements Agent.
+func (ag *LocalAgent) ClusterID() (model.ClusterID, error) { return ag.k, nil }
+
+// Reset implements Agent.
+func (ag *LocalAgent) Reset() error {
+	ag.a = alloc.New(ag.solver.Scenario())
+	return nil
+}
+
+// Evaluate implements Agent.
+func (ag *LocalAgent) Evaluate(id model.ClientID) (EvalResult, error) {
+	est, portions, err := ag.solver.AssignDistribute(ag.a, id, ag.k)
+	if err != nil {
+		// Infeasibility is a valid bid ("pass"), not a transport error.
+		return EvalResult{}, nil
+	}
+	return EvalResult{Feasible: true, Est: est, Portions: portions}, nil
+}
+
+// Commit implements Agent.
+func (ag *LocalAgent) Commit(id model.ClientID, portions []alloc.Portion) error {
+	return ag.a.Assign(id, ag.k, portions)
+}
+
+// Remove implements Agent.
+func (ag *LocalAgent) Remove(id model.ClientID) error {
+	ag.a.Unassign(id)
+	return nil
+}
+
+// Improve implements Agent: one sweep of the paper's cluster-local
+// phases.
+func (ag *LocalAgent) Improve() (ImproveStats, error) {
+	scen := ag.solver.Scenario()
+	for _, j := range scen.Cloud.ClusterServers(ag.k) {
+		ag.solver.AdjustResourceShares(ag.a, j)
+	}
+	for i := range scen.Clients {
+		id := model.ClientID(i)
+		if ag.a.ClusterOf(id) == int(ag.k) {
+			ag.solver.AdjustDispersionRates(ag.a, id)
+		}
+	}
+	st := ImproveStats{
+		Activations:   ag.solver.TurnOnServers(ag.a, ag.k),
+		Deactivations: ag.solver.TurnOffServers(ag.a, ag.k),
+	}
+	p, err := ag.Profit()
+	if err != nil {
+		return st, err
+	}
+	st.Profit = p
+	return st, nil
+}
+
+// Profit implements Agent.
+func (ag *LocalAgent) Profit() (float64, error) {
+	scen := ag.solver.Scenario()
+	var p float64
+	for i := range scen.Clients {
+		id := model.ClientID(i)
+		if ag.a.ClusterOf(id) == int(ag.k) {
+			p += ag.a.Revenue(id)
+		}
+	}
+	for _, j := range scen.Cloud.ClusterServers(ag.k) {
+		p -= ag.a.ServerCost(j)
+	}
+	return p, nil
+}
+
+// Snapshot implements Agent.
+func (ag *LocalAgent) Snapshot() (map[model.ClientID][]alloc.Portion, error) {
+	out := make(map[model.ClientID][]alloc.Portion)
+	scen := ag.solver.Scenario()
+	for i := range scen.Clients {
+		id := model.ClientID(i)
+		if ag.a.ClusterOf(id) == int(ag.k) {
+			out[id] = ag.a.Portions(id)
+		}
+	}
+	return out, nil
+}
+
+// Close implements Agent.
+func (ag *LocalAgent) Close() error { return nil }

@@ -1,0 +1,294 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/alloc"
+	"repro/internal/model"
+)
+
+// ManagerConfig tunes the distributed solve.
+type ManagerConfig struct {
+	// NumInitSolutions mirrors core.Config: randomized greedy passes.
+	NumInitSolutions int
+	// MaxImproveRounds bounds the distributed local-search rounds.
+	MaxImproveRounds int
+	// Tolerance is the relative profit improvement under which the
+	// improvement loop stops.
+	Tolerance float64
+	// Seed drives the client processing order.
+	Seed int64
+}
+
+// DefaultManagerConfig matches the sequential solver's defaults.
+func DefaultManagerConfig() ManagerConfig {
+	return ManagerConfig{
+		NumInitSolutions: 3,
+		MaxImproveRounds: 20,
+		Tolerance:        1e-4,
+		Seed:             1,
+	}
+}
+
+// ManagerStats summarizes a distributed solve.
+type ManagerStats struct {
+	InitialProfit float64
+	FinalProfit   float64
+	ImproveRounds int
+	Activations   int
+	Deactivations int
+	Unplaced      int
+	Elapsed       time.Duration
+}
+
+// Manager is the paper's central resource manager: it owns the client
+// list and coordinates one agent per cluster.
+type Manager struct {
+	scen   *model.Scenario
+	agents []Agent
+	cfg    ManagerConfig
+}
+
+// NewManager wires a manager to its cluster agents. Exactly one agent per
+// cluster is required, in cluster order.
+func NewManager(scen *model.Scenario, agents []Agent, cfg ManagerConfig) (*Manager, error) {
+	if err := scen.Validate(); err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	if len(agents) != scen.Cloud.NumClusters() {
+		return nil, fmt.Errorf("cluster: %d agents for %d clusters", len(agents), scen.Cloud.NumClusters())
+	}
+	for k, ag := range agents {
+		id, err := ag.ClusterID()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: agent %d: %w", k, err)
+		}
+		if id != model.ClusterID(k) {
+			return nil, fmt.Errorf("cluster: agent %d manages cluster %d", k, id)
+		}
+	}
+	if cfg.NumInitSolutions <= 0 || cfg.MaxImproveRounds < 0 || cfg.Tolerance < 0 {
+		return nil, fmt.Errorf("cluster: invalid config %+v", cfg)
+	}
+	return &Manager{scen: scen, agents: agents, cfg: cfg}, nil
+}
+
+// Solve runs the distributed heuristic and merges the agents' final
+// cluster states into a single allocation.
+func (m *Manager) Solve() (*alloc.Allocation, ManagerStats, error) {
+	start := time.Now()
+	rng := rand.New(rand.NewSource(m.cfg.Seed))
+
+	var (
+		bestAssign map[model.ClientID]assignment
+		bestProfit float64
+		haveBest   bool
+	)
+	for iter := 0; iter < m.cfg.NumInitSolutions; iter++ {
+		assignments, profit, err := m.initialPass(rng)
+		if err != nil {
+			return nil, ManagerStats{}, err
+		}
+		if !haveBest || profit > bestProfit {
+			bestAssign, bestProfit, haveBest = assignments, profit, true
+		}
+	}
+
+	// Load the best initial solution back into the agents.
+	if err := m.load(bestAssign); err != nil {
+		return nil, ManagerStats{}, err
+	}
+	stats := ManagerStats{InitialProfit: bestProfit}
+
+	prev := bestProfit
+	for round := 0; round < m.cfg.MaxImproveRounds; round++ {
+		stats.ImproveRounds = round + 1
+		total, err := m.improveRound(&stats)
+		if err != nil {
+			return nil, ManagerStats{}, err
+		}
+		if total-prev <= m.cfg.Tolerance*(1+abs(prev)) {
+			prev = total
+			break
+		}
+		prev = total
+	}
+	stats.FinalProfit = prev
+
+	merged, err := m.merge()
+	if err != nil {
+		return nil, ManagerStats{}, err
+	}
+	stats.Unplaced = m.scen.NumClients() - merged.NumAssigned()
+	stats.Elapsed = time.Since(start)
+	return merged, stats, nil
+}
+
+type assignment struct {
+	cluster  model.ClusterID
+	portions []alloc.Portion
+}
+
+// initialPass runs one randomized greedy pass across the agents and
+// returns the assignment map and its total profit.
+func (m *Manager) initialPass(rng *rand.Rand) (map[model.ClientID]assignment, float64, error) {
+	for _, ag := range m.agents {
+		if err := ag.Reset(); err != nil {
+			return nil, 0, fmt.Errorf("cluster: reset: %w", err)
+		}
+	}
+	assignments := make(map[model.ClientID]assignment, m.scen.NumClients())
+	for _, ci := range rng.Perm(m.scen.NumClients()) {
+		id := model.ClientID(ci)
+		bids, err := m.broadcastEvaluate(id)
+		if err != nil {
+			return nil, 0, err
+		}
+		bestK := -1
+		for k, bid := range bids {
+			if !bid.Feasible {
+				continue
+			}
+			if bestK == -1 || bid.Est > bids[bestK].Est {
+				bestK = k
+			}
+		}
+		for bestK != -1 {
+			if err := m.agents[bestK].Commit(id, bids[bestK].Portions); err == nil {
+				assignments[id] = assignment{cluster: model.ClusterID(bestK), portions: bids[bestK].Portions}
+				break
+			}
+			bids[bestK].Feasible = false
+			bestK = -1
+			for k, bid := range bids {
+				if !bid.Feasible {
+					continue
+				}
+				if bestK == -1 || bid.Est > bids[bestK].Est {
+					bestK = k
+				}
+			}
+		}
+	}
+	profit, err := m.totalProfit()
+	if err != nil {
+		return nil, 0, err
+	}
+	return assignments, profit, nil
+}
+
+// broadcastEvaluate collects all agents' bids for a client in parallel —
+// the distributed analogue of trying every cluster.
+func (m *Manager) broadcastEvaluate(id model.ClientID) ([]EvalResult, error) {
+	bids := make([]EvalResult, len(m.agents))
+	errs := make([]error, len(m.agents))
+	var wg sync.WaitGroup
+	for k := range m.agents {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			bids[k], errs[k] = m.agents[k].Evaluate(id)
+		}(k)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, fmt.Errorf("cluster: evaluate client %d: %w", id, err)
+	}
+	return bids, nil
+}
+
+// load resets the agents and replays an assignment map into them.
+func (m *Manager) load(assignments map[model.ClientID]assignment) error {
+	for _, ag := range m.agents {
+		if err := ag.Reset(); err != nil {
+			return fmt.Errorf("cluster: reset: %w", err)
+		}
+	}
+	for i := 0; i < m.scen.NumClients(); i++ {
+		id := model.ClientID(i)
+		as, ok := assignments[id]
+		if !ok {
+			continue
+		}
+		if err := m.agents[as.cluster].Commit(id, as.portions); err != nil {
+			return fmt.Errorf("cluster: replay client %d: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// improveRound runs one Improve on every agent in parallel and returns
+// the total profit afterwards.
+func (m *Manager) improveRound(stats *ManagerStats) (float64, error) {
+	results := make([]ImproveStats, len(m.agents))
+	errs := make([]error, len(m.agents))
+	var wg sync.WaitGroup
+	for k := range m.agents {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			results[k], errs[k] = m.agents[k].Improve()
+		}(k)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return 0, fmt.Errorf("cluster: improve round: %w", err)
+	}
+	var total float64
+	for _, r := range results {
+		total += r.Profit
+		stats.Activations += r.Activations
+		stats.Deactivations += r.Deactivations
+	}
+	return total, nil
+}
+
+// totalProfit sums the agents' cluster profits.
+func (m *Manager) totalProfit() (float64, error) {
+	var total float64
+	for k, ag := range m.agents {
+		p, err := ag.Profit()
+		if err != nil {
+			return 0, fmt.Errorf("cluster: profit of cluster %d: %w", k, err)
+		}
+		total += p
+	}
+	return total, nil
+}
+
+// merge combines every agent's snapshot into one allocation.
+func (m *Manager) merge() (*alloc.Allocation, error) {
+	merged := alloc.New(m.scen)
+	for k, ag := range m.agents {
+		snap, err := ag.Snapshot()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: snapshot of cluster %d: %w", k, err)
+		}
+		for id, portions := range snap {
+			if err := merged.Assign(id, model.ClusterID(k), portions); err != nil {
+				return nil, fmt.Errorf("cluster: merge client %d: %w", id, err)
+			}
+		}
+	}
+	return merged, nil
+}
+
+// Close closes all agents, returning the first error.
+func (m *Manager) Close() error {
+	var errs []error
+	for _, ag := range m.agents {
+		errs = append(errs, ag.Close())
+	}
+	return errors.Join(errs...)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/alloc"
+	"repro/internal/model"
+	"repro/internal/opt"
+	"repro/internal/queueing"
+)
+
+// ErrCannotPlace is returned when a client cannot feasibly be served by
+// the requested cluster (no disk, no stable share combination).
+var ErrCannotPlace = errors.New("core: client cannot be placed in cluster")
+
+// candidateKey memoizes Assign_Distribute rows across identical servers:
+// inactive servers of one class look the same to the client, so the paper
+// solves them "only once" (Section V.A).
+type candidateKey struct {
+	class  model.ServerClassID
+	availP float64
+	availB float64
+	diskOK bool
+	active bool
+}
+
+// candidate is one server's tabulated contribution to the DP.
+type candidate struct {
+	server model.ServerID
+	values []float64 // profit contribution per α grid unit
+	shareP []float64
+	shareB []float64
+}
+
+// AssignDistribute evaluates the best placement of (unassigned) client i
+// on cluster k given the current allocation state, without mutating it.
+// It returns the approximate profit of the placement and the portions
+// realizing it (paper Section V.A: closed-form shares per server and α
+// grid, combined by dynamic programming so that Σα = 1).
+func (s *Solver) AssignDistribute(a *alloc.Allocation, i model.ClientID, k model.ClusterID) (float64, []alloc.Portion, error) {
+	return s.assignDistribute(a, i, k, nil)
+}
+
+// assignDistribute is AssignDistribute with an optional server filter
+// (used by TurnOFF to exclude the server being drained).
+func (s *Solver) assignDistribute(a *alloc.Allocation, i model.ClientID, k model.ClusterID, allowed func(model.ServerID) bool) (float64, []alloc.Portion, error) {
+	scen := s.scen
+	if int(k) < 0 || int(k) >= scen.Cloud.NumClusters() {
+		return 0, nil, fmt.Errorf("core: unknown cluster %d", k)
+	}
+	cl := &scen.Clients[i]
+	u := scen.Utility(i)
+	w := cl.ArrivalRate * u.Slope
+	g := s.cfg.AlphaGranularity
+
+	var cands []candidate
+	memo := make(map[candidateKey]int)
+	for _, j := range scen.Cloud.ClusterServers(k) {
+		if allowed != nil && !allowed(j) {
+			continue
+		}
+		class := scen.Cloud.ServerClass(j)
+		key := candidateKey{
+			class:  class.ID,
+			availP: 1 - a.ProcShareUsed(j),
+			availB: 1 - a.CommShareUsed(j),
+			diskOK: a.DiskUsed(j)+cl.DiskNeed <= class.StoreCap,
+			active: a.Active(j),
+		}
+		if idx, ok := memo[key]; ok {
+			prev := cands[idx]
+			cands = append(cands, candidate{
+				server: j,
+				values: prev.values,
+				shareP: prev.shareP,
+				shareB: prev.shareB,
+			})
+			continue
+		}
+		cand := s.tabulateServer(cl, u, w, j, class, key, g)
+		memo[key] = len(cands)
+		cands = append(cands, cand)
+	}
+	if len(cands) == 0 {
+		return 0, nil, ErrCannotPlace
+	}
+
+	rows := make([][]float64, len(cands))
+	for c := range cands {
+		rows[c] = cands[c].values
+	}
+	best, units, err := opt.CombinePortions(rows, g)
+	if err != nil {
+		if errors.Is(err, opt.ErrNoFeasibleCombination) {
+			return 0, nil, ErrCannotPlace
+		}
+		return 0, nil, fmt.Errorf("core: assign-distribute DP: %w", err)
+	}
+	var portions []alloc.Portion
+	for c, ug := range units {
+		if ug == 0 {
+			continue
+		}
+		portions = append(portions, alloc.Portion{
+			Server:    cands[c].server,
+			Alpha:     float64(ug) / float64(g),
+			ProcShare: cands[c].shareP[ug],
+			CommShare: cands[c].shareB[ug],
+		})
+	}
+	return best, portions, nil
+}
+
+// tabulateServer fills the per-α-grid contribution of one server: the
+// linearized revenue α·λ·a minus the weighted tandem delay, the marginal
+// energy cost P1·α·λ̃·tp/Cp, and the activation cost P0 for an inactive
+// server.
+func (s *Solver) tabulateServer(cl *model.Client, u model.UtilityClass, w float64,
+	j model.ServerID, class model.ServerClass, key candidateKey, g int) candidate {
+	cand := candidate{
+		server: j,
+		values: make([]float64, g+1),
+		shareP: make([]float64, g+1),
+		shareB: make([]float64, g+1),
+	}
+	for ug := 1; ug <= g; ug++ {
+		cand.values[ug] = opt.NegInf
+		if !key.diskOK {
+			continue
+		}
+		alpha := float64(ug) / float64(g)
+		rate := alpha * cl.PredictedRate
+		phiP, okP := greedyShare(w*alpha, cl.ProcTime, rate, class.ProcCap, s.prices.proc, key.availP)
+		if !okP {
+			continue
+		}
+		phiB, okB := greedyShare(w*alpha, cl.CommTime, rate, class.CommCap, s.prices.comm, key.availB)
+		if !okB {
+			continue
+		}
+		dP, errP := queueing.PortionDelay(phiP, class.ProcCap, cl.ProcTime, rate)
+		dB, errB := queueing.PortionDelay(phiB, class.CommCap, cl.CommTime, rate)
+		if errP != nil || errB != nil {
+			continue
+		}
+		val := alpha*cl.ArrivalRate*u.Base -
+			w*alpha*(dP+dB) -
+			class.UtilizationCost*queueing.LoadFraction(class.ProcCap, cl.ProcTime, rate)
+		if !key.active {
+			val -= class.FixedCost
+		}
+		cand.values[ug] = val
+		cand.shareP[ug] = phiP
+		cand.shareB[ug] = phiB
+	}
+	return cand
+}

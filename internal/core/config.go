@@ -1,0 +1,79 @@
+// Package core implements the paper's primary contribution: the
+// Resource_Alloc heuristic (Figure 3) — a multi-start greedy initial
+// solution built from per-cluster Assign_Distribute evaluations (closed-
+// form KKT shares + dynamic programming over servers), followed by a local
+// search that alternates Adjust_ResourceShares, Adjust_DispersionRates,
+// TurnON_servers and TurnOFF_servers until the profit is steady.
+package core
+
+import "fmt"
+
+// Config tunes the Resource_Alloc heuristic. Use DefaultConfig as the
+// starting point.
+type Config struct {
+	// NumInitSolutions is the number of randomized greedy passes; the most
+	// profitable initial solution seeds the local search (paper uses 3).
+	NumInitSolutions int
+	// AlphaGranularity is the number of grid units the dispersion rate α
+	// is discretized into for the Assign_Distribute dynamic program (the
+	// paper's 1/ℓ).
+	AlphaGranularity int
+	// MaxLocalSearchIters bounds the improvement loop.
+	MaxLocalSearchIters int
+	// Tolerance is the relative profit improvement below which the local
+	// search is considered steady.
+	Tolerance float64
+	// Seed drives client-order shuffling; same seed, same solution.
+	Seed int64
+	// Parallel evaluates clusters concurrently (the paper's distributed
+	// decision making, executed with one goroutine per cluster).
+	Parallel bool
+	// ShadowPriceScale scales the calibrated capacity shadow price η used
+	// by the greedy share formula. >1 reserves more headroom for future
+	// clients; <1 is more generous to the client being placed.
+	ShadowPriceScale float64
+	// AdmissionControl lets the provider leave a client unserved when
+	// serving it would lose money (negative marginal profit). The paper's
+	// constraint (6) nominally serves everyone, but its experiments only
+	// produce profitable contracts, where this switch changes nothing; on
+	// adversarial instances it prevents forced-loss placements. Disable
+	// for strict constraint-(6) behaviour.
+	AdmissionControl bool
+
+	// Ablation switches: disable individual local-search phases.
+	DisableShareAdjust      bool
+	DisableReassign         bool
+	DisableDispersionAdjust bool
+	DisableTurnOn           bool
+	DisableTurnOff          bool
+}
+
+// DefaultConfig returns the paper's settings.
+func DefaultConfig() Config {
+	return Config{
+		NumInitSolutions:    3,
+		AdmissionControl:    true,
+		AlphaGranularity:    10,
+		MaxLocalSearchIters: 20,
+		Tolerance:           1e-4,
+		Seed:                1,
+		ShadowPriceScale:    1,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.NumInitSolutions <= 0:
+		return fmt.Errorf("core: NumInitSolutions = %d", c.NumInitSolutions)
+	case c.AlphaGranularity <= 0:
+		return fmt.Errorf("core: AlphaGranularity = %d", c.AlphaGranularity)
+	case c.MaxLocalSearchIters < 0:
+		return fmt.Errorf("core: MaxLocalSearchIters = %d", c.MaxLocalSearchIters)
+	case c.Tolerance < 0:
+		return fmt.Errorf("core: Tolerance = %v", c.Tolerance)
+	case c.ShadowPriceScale <= 0:
+		return fmt.Errorf("core: ShadowPriceScale = %v", c.ShadowPriceScale)
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/alloc"
+	"repro/internal/model"
+)
+
+// ReassignmentPass is the cloud-level move of the paper's local search:
+// each client in turn is removed and re-placed on whichever cluster now
+// offers the highest exact profit ("this local search is not only used to
+// change client assignment to decrease the resource saturation in some of
+// clusters but also to combine the clients", Section V). It is a central-
+// manager operation — unlike the per-cluster phases it may move clients
+// across clusters, so it runs sequentially. Returns the number of
+// improving moves.
+//
+// Candidates are compared by their exact marginal profit against the
+// "client unserved" state: moving one client only changes its own revenue
+// and the costs of the servers it leaves or joins, so the comparison is
+// O(portions) instead of O(clients).
+func (s *Solver) ReassignmentPass(a *alloc.Allocation) int {
+	numK := s.scen.Cloud.NumClusters()
+	var moves int
+	for ci := 0; ci < s.scen.NumClients(); ci++ {
+		i := model.ClientID(ci)
+		prevK, prevPortions := a.Unassign(i)
+
+		// Marginal profit of a candidate placement vs staying out.
+		gainOf := func(k model.ClusterID, portions []alloc.Portion) (float64, bool) {
+			costBefore := s.portionServerCost(a, portions)
+			if err := a.Assign(i, k, portions); err != nil {
+				return 0, false
+			}
+			gain := a.Revenue(i) - (s.portionServerCost(a, portions) - costBefore)
+			a.Unassign(i)
+			return gain, true
+		}
+
+		prevGain := math.Inf(-1)
+		if prevK != alloc.Unassigned {
+			if g, ok := gainOf(prevK, prevPortions); ok {
+				prevGain = g
+			}
+		}
+
+		bestGain := math.Inf(-1)
+		var bestK model.ClusterID
+		var bestPortions []alloc.Portion
+		for k := 0; k < numK; k++ {
+			_, portions, err := s.AssignDistribute(a, i, model.ClusterID(k))
+			if err != nil {
+				continue
+			}
+			if g, ok := gainOf(model.ClusterID(k), portions); ok && g > bestGain {
+				bestGain = g
+				bestK = model.ClusterID(k)
+				bestPortions = portions
+			}
+		}
+
+		// Pick the best of: previous placement, best new placement, or —
+		// with admission control — leaving the client out (gain 0).
+		outGain := math.Inf(-1)
+		if s.cfg.AdmissionControl {
+			outGain = 0
+		}
+		switch {
+		case bestPortions != nil && bestGain > prevGain+1e-9 && bestGain > outGain:
+			if err := a.Assign(i, bestK, bestPortions); err == nil {
+				moves++
+				continue
+			}
+			fallthrough
+		case prevK != alloc.Unassigned && prevGain >= outGain:
+			if err := a.Assign(i, prevK, prevPortions); err != nil {
+				continue
+			}
+		default:
+			// Client stays (or becomes) unserved.
+			if prevK != alloc.Unassigned {
+				moves++ // eviction is a move
+			}
+		}
+	}
+	return moves
+}
+
+// portionServerCost sums the current cost of the (deduplicated) servers
+// referenced by the portions.
+func (s *Solver) portionServerCost(a *alloc.Allocation, portions []alloc.Portion) float64 {
+	var cost float64
+	seen := make(map[model.ServerID]struct{}, len(portions))
+	for _, p := range portions {
+		if _, ok := seen[p.Server]; ok {
+			continue
+		}
+		seen[p.Server] = struct{}{}
+		cost += a.ServerCost(p.Server)
+	}
+	return cost
+}

@@ -1,0 +1,263 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/alloc"
+	"repro/internal/model"
+)
+
+// Solver runs the Resource_Alloc heuristic on one scenario.
+type Solver struct {
+	scen   *model.Scenario
+	cfg    Config
+	prices shadowPrices
+}
+
+// Stats reports what the solver did.
+type Stats struct {
+	InitialProfit    float64
+	FinalProfit      float64
+	LocalSearchIters int
+	Activations      int
+	Deactivations    int
+	Reassignments    int
+	Unplaced         int
+	Elapsed          time.Duration
+}
+
+// NewSolver validates the inputs and calibrates the capacity shadow
+// prices for the scenario.
+func NewSolver(scen *model.Scenario, cfg Config) (*Solver, error) {
+	if scen == nil {
+		return nil, errors.New("core: nil scenario")
+	}
+	if err := scen.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Solver{
+		scen:   scen,
+		cfg:    cfg,
+		prices: calibratePrices(scen, cfg.ShadowPriceScale),
+	}, nil
+}
+
+// Scenario returns the scenario the solver was built for.
+func (s *Solver) Scenario() *model.Scenario { return s.scen }
+
+// Solve runs the full heuristic: multi-start greedy initial solutions,
+// then local search on the best one (paper Figure 3).
+func (s *Solver) Solve() (*alloc.Allocation, Stats, error) {
+	start := time.Now()
+	rng := rand.New(rand.NewSource(s.cfg.Seed))
+
+	var (
+		best       *alloc.Allocation
+		bestProfit float64
+	)
+	for iter := 0; iter < s.cfg.NumInitSolutions; iter++ {
+		a, err := s.InitialSolution(rng)
+		if err != nil {
+			return nil, Stats{}, err
+		}
+		if p := a.Profit(); best == nil || p > bestProfit {
+			best, bestProfit = a, p
+		}
+	}
+
+	stats := Stats{InitialProfit: bestProfit}
+	s.ImproveLocal(best, &stats)
+	stats.FinalProfit = best.Profit()
+	stats.Unplaced = s.scen.NumClients() - best.NumAssigned()
+	stats.Elapsed = time.Since(start)
+	return best, stats, nil
+}
+
+// InitialSolution builds one greedy solution: clients in random order,
+// each placed on the cluster whose Assign_Distribute promises the highest
+// approximate profit. Clients that fit nowhere stay unassigned (the paper
+// assumes a feasible instance; we degrade gracefully).
+func (s *Solver) InitialSolution(rng *rand.Rand) (*alloc.Allocation, error) {
+	a := alloc.New(s.scen)
+	order := rng.Perm(s.scen.NumClients())
+	for _, ci := range order {
+		i := model.ClientID(ci)
+		if err := s.placeBest(a, i); err != nil && !errors.Is(err, ErrCannotPlace) {
+			return nil, err
+		}
+	}
+	return a, nil
+}
+
+// placeBest assigns client i to its most profitable cluster; returns
+// ErrCannotPlace when no cluster can host it.
+func (s *Solver) placeBest(a *alloc.Allocation, i model.ClientID) error {
+	type result struct {
+		est      float64
+		portions []alloc.Portion
+		ok       bool
+	}
+	numK := s.scen.Cloud.NumClusters()
+	results := make([]result, numK)
+	eval := func(k int) {
+		est, portions, err := s.AssignDistribute(a, i, model.ClusterID(k))
+		if err != nil {
+			return
+		}
+		results[k] = result{est: est, portions: portions, ok: true}
+	}
+	if s.cfg.Parallel && numK > 1 {
+		// The paper's distributed decision making: each cluster agent
+		// evaluates the client against its own state in parallel.
+		var wg sync.WaitGroup
+		for k := 0; k < numK; k++ {
+			wg.Add(1)
+			go func(k int) {
+				defer wg.Done()
+				eval(k)
+			}(k)
+		}
+		wg.Wait()
+	} else {
+		for k := 0; k < numK; k++ {
+			eval(k)
+		}
+	}
+
+	bestK := -1
+	for k, r := range results {
+		if !r.ok {
+			continue
+		}
+		if bestK == -1 || r.est > results[bestK].est {
+			bestK = k
+		}
+	}
+	if s.cfg.AdmissionControl && bestK != -1 && results[bestK].est < 0 {
+		// Serving this client anywhere would lose money; leave it out and
+		// let the exact-profit reassignment pass re-admit it if the
+		// linearized estimate was too pessimistic.
+		return ErrCannotPlace
+	}
+	// Try clusters in descending estimate order until one accepts: the
+	// estimate is approximate, so an Assign can still fail in rare
+	// borderline cases.
+	for bestK != -1 {
+		r := results[bestK]
+		if err := a.Assign(i, model.ClusterID(bestK), r.portions); err == nil {
+			return nil
+		}
+		results[bestK].ok = false
+		bestK = -1
+		for k, rr := range results {
+			if !rr.ok {
+				continue
+			}
+			if bestK == -1 || rr.est > results[bestK].est {
+				bestK = k
+			}
+		}
+	}
+	return ErrCannotPlace
+}
+
+// ImproveLocal runs the local-search phases until the profit is steady or
+// the iteration budget is exhausted. It mutates a in place and records
+// activity in stats (which may be nil).
+func (s *Solver) ImproveLocal(a *alloc.Allocation, stats *Stats) {
+	if stats == nil {
+		stats = &Stats{}
+	}
+	prev := a.Profit()
+	for iter := 0; iter < s.cfg.MaxLocalSearchIters; iter++ {
+		stats.LocalSearchIters = iter + 1
+		s.improvePass(a, stats)
+		if !s.cfg.DisableReassign {
+			// Cloud-level client reassignment is a central-manager move and
+			// runs between the parallel per-cluster sweeps.
+			stats.Reassignments += s.ReassignmentPass(a)
+		}
+		p := a.Profit()
+		if p-prev <= s.cfg.Tolerance*(1+absf(prev)) {
+			break
+		}
+		prev = p
+	}
+}
+
+// improvePass runs one sweep of all enabled phases. When Parallel is set
+// the per-cluster work runs concurrently: every mutation a phase makes is
+// confined to one cluster (clients are pinned to a single cluster by
+// constraint (6)), so cluster goroutines touch disjoint state. Cluster
+// membership is snapshotted up front so no goroutine reads another
+// cluster's assignment fields.
+func (s *Solver) improvePass(a *alloc.Allocation, stats *Stats) {
+	numK := s.scen.Cloud.NumClusters()
+	members := s.clusterMembers(a)
+	acts := make([]int, numK)
+	deacts := make([]int, numK)
+	run := func(k int) {
+		kid := model.ClusterID(k)
+		if !s.cfg.DisableShareAdjust {
+			for _, j := range s.scen.Cloud.ClusterServers(kid) {
+				s.AdjustResourceShares(a, j)
+			}
+		}
+		if !s.cfg.DisableDispersionAdjust {
+			for _, id := range members[k] {
+				s.AdjustDispersionRates(a, id)
+			}
+		}
+		if !s.cfg.DisableTurnOn {
+			acts[k] += s.turnOnServers(a, kid, members[k])
+		}
+		if !s.cfg.DisableTurnOff {
+			deacts[k] += s.turnOffServers(a, kid, members[k])
+		}
+	}
+	if s.cfg.Parallel && numK > 1 {
+		var wg sync.WaitGroup
+		for k := 0; k < numK; k++ {
+			wg.Add(1)
+			go func(k int) {
+				defer wg.Done()
+				run(k)
+			}(k)
+		}
+		wg.Wait()
+	} else {
+		for k := 0; k < numK; k++ {
+			run(k)
+		}
+	}
+	for k := 0; k < numK; k++ {
+		stats.Activations += acts[k]
+		stats.Deactivations += deacts[k]
+	}
+}
+
+// clusterMembers snapshots the assigned clients of every cluster.
+func (s *Solver) clusterMembers(a *alloc.Allocation) [][]model.ClientID {
+	members := make([][]model.ClientID, s.scen.Cloud.NumClusters())
+	for i := range s.scen.Clients {
+		id := model.ClientID(i)
+		if k := a.ClusterOf(id); k != alloc.Unassigned {
+			members[k] = append(members[k], id)
+		}
+	}
+	return members
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

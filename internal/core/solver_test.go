@@ -1,0 +1,308 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+// smallScenario generates a paper-shaped scenario with n clients.
+func smallScenario(t *testing.T, n int, seed int64) *model.Scenario {
+	t.Helper()
+	cfg := workload.DefaultConfig()
+	cfg.NumClients = n
+	cfg.Seed = seed
+	scen, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return scen
+}
+
+func newTestSolver(t *testing.T, scen *model.Scenario, mutate func(*Config)) *Solver {
+	t.Helper()
+	cfg := DefaultConfig()
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := NewSolver(scen, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSolverValidation(t *testing.T) {
+	if _, err := NewSolver(nil, DefaultConfig()); err == nil {
+		t.Fatal("nil scenario accepted")
+	}
+	scen := smallScenario(t, 5, 1)
+	bad := DefaultConfig()
+	bad.AlphaGranularity = 0
+	if _, err := NewSolver(scen, bad); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	bad2 := DefaultConfig()
+	bad2.NumInitSolutions = 0
+	if _, err := NewSolver(scen, bad2); err == nil {
+		t.Fatal("zero init solutions accepted")
+	}
+}
+
+func TestAssignDistributeProducesFeasiblePortions(t *testing.T) {
+	scen := smallScenario(t, 10, 2)
+	s := newTestSolver(t, scen, nil)
+	a := alloc.New(scen)
+	for i := 0; i < scen.NumClients(); i++ {
+		id := model.ClientID(i)
+		est, portions, err := s.AssignDistribute(a, id, 0)
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+		if math.IsInf(est, 0) || math.IsNaN(est) {
+			t.Fatalf("client %d: estimate %v", i, est)
+		}
+		var alphaSum float64
+		for _, p := range portions {
+			alphaSum += p.Alpha
+			if scen.Cloud.Servers[p.Server].Cluster != 0 {
+				t.Fatalf("portion outside requested cluster: %+v", p)
+			}
+		}
+		if math.Abs(alphaSum-1) > 1e-9 {
+			t.Fatalf("client %d: Σα = %v", i, alphaSum)
+		}
+		if err := a.Assign(id, 0, portions); err != nil {
+			t.Fatalf("client %d: returned portions rejected: %v", i, err)
+		}
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssignDistributeUnknownCluster(t *testing.T) {
+	scen := smallScenario(t, 3, 1)
+	s := newTestSolver(t, scen, nil)
+	a := alloc.New(scen)
+	if _, _, err := s.AssignDistribute(a, 0, 99); err == nil {
+		t.Fatal("unknown cluster accepted")
+	}
+}
+
+func TestAssignDistributeDoesNotMutate(t *testing.T) {
+	scen := smallScenario(t, 5, 3)
+	s := newTestSolver(t, scen, nil)
+	a := alloc.New(scen)
+	if _, _, err := s.AssignDistribute(a, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if a.NumAssigned() != 0 || a.NumActiveServers() != 0 {
+		t.Fatal("AssignDistribute mutated the allocation")
+	}
+}
+
+func TestInitialSolutionAssignsEveryone(t *testing.T) {
+	scen := smallScenario(t, 40, 4)
+	// Without admission control the greedy must place every client the
+	// cloud can feasibly host (paper constraint (6)).
+	s := newTestSolver(t, scen, func(c *Config) { c.AdmissionControl = false })
+	a, err := s.InitialSolution(rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.NumAssigned(); got != 40 {
+		t.Fatalf("assigned %d of 40 clients", got)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Profit() <= 0 {
+		t.Fatalf("initial profit %v should be positive on a paper-shaped instance", a.Profit())
+	}
+}
+
+func TestSolveImprovesOnInitial(t *testing.T) {
+	scen := smallScenario(t, 50, 5)
+	s := newTestSolver(t, scen, nil)
+	a, stats, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if stats.FinalProfit < stats.InitialProfit-1e-9 {
+		t.Fatalf("local search regressed: initial %v final %v", stats.InitialProfit, stats.FinalProfit)
+	}
+	if math.Abs(a.Profit()-stats.FinalProfit) > 1e-9 {
+		t.Fatalf("stats profit %v != allocation profit %v", stats.FinalProfit, a.Profit())
+	}
+	if stats.LocalSearchIters == 0 {
+		t.Fatal("local search did not run")
+	}
+	if stats.Elapsed <= 0 {
+		t.Fatal("elapsed time not recorded")
+	}
+}
+
+func TestSolveDeterministic(t *testing.T) {
+	scen := smallScenario(t, 30, 6)
+	s1 := newTestSolver(t, scen, nil)
+	s2 := newTestSolver(t, scen, nil)
+	a1, _, err := s1.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, _, err := s2.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a1.Profit()-a2.Profit()) > 1e-12 {
+		t.Fatalf("same seed, different profit: %v vs %v", a1.Profit(), a2.Profit())
+	}
+}
+
+func TestSolveParallelMatchesSequential(t *testing.T) {
+	scen := smallScenario(t, 30, 7)
+	seq := newTestSolver(t, scen, nil)
+	par := newTestSolver(t, scen, func(c *Config) { c.Parallel = true })
+	a1, _, err := seq.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, _, err := par.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a1.Profit()-a2.Profit()) > 1e-9 {
+		t.Fatalf("parallel %v != sequential %v", a2.Profit(), a1.Profit())
+	}
+	if err := a2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveOverloadedCloudDegradesGracefully(t *testing.T) {
+	cfg := workload.DefaultConfig()
+	cfg.NumClients = 120
+	cfg.MinServersPerCluster = 1
+	cfg.MaxServersPerCluster = 2
+	cfg.Seed = 8
+	scen, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestSolver(t, scen, nil)
+	a, stats, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Unplaced == 0 {
+		t.Log("note: overloaded cloud still placed everyone (tight but feasible)")
+	}
+	if a.NumAssigned()+stats.Unplaced != scen.NumClients() {
+		t.Fatalf("assigned %d + unplaced %d != %d", a.NumAssigned(), stats.Unplaced, scen.NumClients())
+	}
+}
+
+func TestAblationSwitchesRespected(t *testing.T) {
+	scen := smallScenario(t, 25, 9)
+	full := newTestSolver(t, scen, nil)
+	crippled := newTestSolver(t, scen, func(c *Config) {
+		c.DisableShareAdjust = true
+		c.DisableDispersionAdjust = true
+		c.DisableTurnOn = true
+		c.DisableTurnOff = true
+	})
+	af, sf, err := full.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ac, sc, err := crippled.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With every phase disabled the local search must be a no-op.
+	if math.Abs(sc.FinalProfit-sc.InitialProfit) > 1e-9 {
+		t.Fatalf("disabled local search still changed profit: %v -> %v", sc.InitialProfit, sc.FinalProfit)
+	}
+	if af.Profit() < ac.Profit()-1e-9 {
+		t.Fatalf("full solver (%v) worse than crippled (%v)", sf.FinalProfit, ac.Profit())
+	}
+}
+
+func TestPlaceBestRejectsWhenFull(t *testing.T) {
+	// One cluster, one tiny server, one client that cannot fit its disk.
+	scen := &model.Scenario{
+		Cloud: model.Cloud{
+			ServerClasses:  []model.ServerClass{{ID: 0, ProcCap: 4, StoreCap: 0.1, CommCap: 4, FixedCost: 1, UtilizationCost: 1}},
+			UtilityClasses: []model.UtilityClass{{ID: 0, Base: 4, Slope: 0.5}},
+			Clusters:       []model.Cluster{{ID: 0, Servers: []model.ServerID{0}}},
+			Servers:        []model.Server{{ID: 0, Class: 0, Cluster: 0}},
+		},
+		Clients: []model.Client{{
+			ID: 0, Class: 0, ArrivalRate: 1, PredictedRate: 1,
+			ProcTime: 0.5, CommTime: 0.5, DiskNeed: 1,
+		}},
+	}
+	s := newTestSolver(t, scen, nil)
+	a := alloc.New(scen)
+	if _, _, err := s.AssignDistribute(a, 0, 0); !errors.Is(err, ErrCannotPlace) {
+		t.Fatalf("err = %v, want ErrCannotPlace", err)
+	}
+	sol, stats, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Unplaced != 1 || sol.NumAssigned() != 0 {
+		t.Fatalf("unplaceable client was placed: %+v", stats)
+	}
+}
+
+func TestUndoLogRestoresFirstSnapshot(t *testing.T) {
+	scen := smallScenario(t, 5, 51)
+	s := newTestSolver(t, scen, nil)
+	a := alloc.New(scen)
+	if err := s.placeBest(a, 0); err != nil {
+		t.Fatal(err)
+	}
+	origK := a.ClusterOf(0)
+	origPortions := a.Portions(0)
+	origProfit := a.Profit()
+
+	undo := newUndoLog()
+	undo.capture(a, 0)
+	// Mutate twice; capture again in between (must be a no-op snapshot).
+	otherK := model.ClusterID((origK + 1) % scen.Cloud.NumClusters())
+	if _, portions, err := s.AssignDistribute(func() *alloc.Allocation { a.Unassign(0); return a }(), 0, otherK); err == nil {
+		_ = a.Assign(0, otherK, portions)
+	}
+	undo.capture(a, 0)
+	a.Unassign(0)
+
+	if err := undo.revert(a); err != nil {
+		t.Fatal(err)
+	}
+	if a.ClusterOf(0) != origK {
+		t.Fatalf("revert restored cluster %d, want %d", a.ClusterOf(0), origK)
+	}
+	got := a.Portions(0)
+	if len(got) != len(origPortions) {
+		t.Fatalf("portions %v, want %v", got, origPortions)
+	}
+	if math.Abs(a.Profit()-origProfit) > 1e-12 {
+		t.Fatalf("profit %v, want %v", a.Profit(), origProfit)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

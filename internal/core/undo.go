@@ -1,0 +1,72 @@
+package core
+
+import (
+	"repro/internal/alloc"
+	"repro/internal/model"
+)
+
+// undoLog records client allocations before tentative mutations so a
+// phase can revert a non-improving experiment. All touched clients must
+// live in one cluster, which keeps reverting cluster-local (and therefore
+// safe under per-cluster parallelism).
+type undoLog struct {
+	entries []undoEntry
+	seen    map[model.ClientID]struct{}
+}
+
+type undoEntry struct {
+	client   model.ClientID
+	cluster  model.ClusterID
+	portions []alloc.Portion
+	assigned bool
+}
+
+func newUndoLog() *undoLog {
+	return &undoLog{seen: make(map[model.ClientID]struct{})}
+}
+
+// capture snapshots client i's current allocation the first time it is
+// touched.
+func (u *undoLog) capture(a *alloc.Allocation, i model.ClientID) {
+	if _, ok := u.seen[i]; ok {
+		return
+	}
+	u.seen[i] = struct{}{}
+	e := undoEntry{client: i}
+	if a.Assigned(i) {
+		e.assigned = true
+		e.cluster = model.ClusterID(a.ClusterOf(i))
+		e.portions = a.Portions(i)
+	}
+	u.entries = append(u.entries, e)
+}
+
+// revert restores every captured client, newest first.
+func (u *undoLog) revert(a *alloc.Allocation) error {
+	for idx := len(u.entries) - 1; idx >= 0; idx-- {
+		e := u.entries[idx]
+		a.Unassign(e.client)
+		if !e.assigned {
+			continue
+		}
+		if err := a.Assign(e.client, e.cluster, e.portions); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// clusterProfit is the profit contribution of cluster k: revenue of the
+// given member clients minus cost of the cluster's servers. It reads only
+// cluster-local state, so concurrent phases on other clusters cannot race
+// with it.
+func (s *Solver) clusterProfit(a *alloc.Allocation, k model.ClusterID, members []model.ClientID) float64 {
+	var p float64
+	for _, i := range members {
+		p += a.Revenue(i)
+	}
+	for _, j := range s.scen.Cloud.ClusterServers(k) {
+		p -= a.ServerCost(j)
+	}
+	return p
+}

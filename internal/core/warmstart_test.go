@@ -1,0 +1,100 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestSolveFromKeepsFeasiblePlacements(t *testing.T) {
+	scen := smallScenario(t, 30, 21)
+	s1 := newTestSolver(t, scen, nil)
+	prev, _, err := s1.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same cloud, slightly drifted rates.
+	next := smallScenario(t, 30, 21)
+	for i := range next.Clients {
+		next.Clients[i].ArrivalRate *= 0.95
+		next.Clients[i].PredictedRate *= 0.95
+	}
+	s2 := newTestSolver(t, next, nil)
+	a, stats, err := s2.SolveFrom(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Admission control may leave a handful of unprofitable clients out;
+	// the bulk must carry over.
+	if a.NumAssigned() < 25 {
+		t.Fatalf("assigned only %d of 30", a.NumAssigned())
+	}
+	if stats.FinalProfit < stats.InitialProfit-1e-9 {
+		t.Fatalf("local search regressed: %+v", stats)
+	}
+
+	// Quality must be close to a cold solve of the new scenario.
+	cold, _, err := s2.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Profit() < 0.9*cold.Profit() {
+		t.Fatalf("warm profit %v far below cold %v", a.Profit(), cold.Profit())
+	}
+}
+
+func TestSolveFromReplacesSaturatedClients(t *testing.T) {
+	scen := smallScenario(t, 20, 22)
+	s1 := newTestSolver(t, scen, nil)
+	prev, _, err := s1.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Triple the rates: many old placements saturate and must be redone.
+	next := smallScenario(t, 20, 22)
+	for i := range next.Clients {
+		next.Clients[i].ArrivalRate *= 3
+		next.Clients[i].PredictedRate *= 3
+	}
+	s2 := newTestSolver(t, next, nil)
+	a, _, err := s2.SolveFrom(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Whatever got placed must be stable under the new rates (Validate
+	// checks this); the heavy load may leave some clients out.
+	if a.NumAssigned() == 0 {
+		t.Fatal("nothing placed after drift")
+	}
+}
+
+func TestSolveFromRejectsShapeMismatch(t *testing.T) {
+	scen := smallScenario(t, 10, 23)
+	s := newTestSolver(t, scen, nil)
+	prev, _, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := workload.DefaultConfig()
+	cfg.NumClients = 11
+	cfg.Seed = 23
+	other, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := newTestSolver(t, other, nil)
+	if _, _, err := s2.SolveFrom(prev); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+	if _, _, err := s2.SolveFrom(nil); err == nil {
+		t.Fatal("nil previous accepted")
+	}
+}

@@ -1,0 +1,84 @@
+// Package dispatch implements the cluster request dispatcher of the paper
+// (Figure 2): it routes each incoming request of a client to one of the
+// client's portions with probability equal to the dispersion rate α_ij.
+// By the Poisson splitting property the per-portion streams remain
+// Poisson, which is what makes the analytical M/M/1 model exact.
+package dispatch
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/alloc"
+	"repro/internal/model"
+)
+
+// Dispatcher routes requests of a single client across its portions.
+type Dispatcher struct {
+	servers []model.ServerID
+	cum     []float64 // cumulative α
+	counts  []int64
+	total   int64
+}
+
+// New builds a dispatcher from a client's portions. The dispersion rates
+// must sum to 1.
+func New(portions []alloc.Portion) (*Dispatcher, error) {
+	if len(portions) == 0 {
+		return nil, errors.New("dispatch: no portions")
+	}
+	d := &Dispatcher{
+		servers: make([]model.ServerID, len(portions)),
+		cum:     make([]float64, len(portions)),
+		counts:  make([]int64, len(portions)),
+	}
+	var sum float64
+	for i, p := range portions {
+		if p.Alpha < 0 {
+			return nil, fmt.Errorf("dispatch: negative dispersion rate %v", p.Alpha)
+		}
+		sum += p.Alpha
+		d.servers[i] = p.Server
+		d.cum[i] = sum
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		return nil, fmt.Errorf("dispatch: dispersion rates sum to %v, want 1", sum)
+	}
+	// Guard the last boundary against floating-point shortfall.
+	d.cum[len(d.cum)-1] = math.Max(sum, 1)
+	return d, nil
+}
+
+// Route picks a portion index for the next request.
+func (d *Dispatcher) Route(rng *rand.Rand) int {
+	u := rng.Float64()
+	// Portions are few (≤ number of servers a client spans); linear scan
+	// beats binary search at this size.
+	idx := len(d.cum) - 1
+	for i, c := range d.cum {
+		if u < c {
+			idx = i
+			break
+		}
+	}
+	d.counts[idx]++
+	d.total++
+	return idx
+}
+
+// Server returns the server of portion idx.
+func (d *Dispatcher) Server(idx int) model.ServerID { return d.servers[idx] }
+
+// Fraction returns the empirical fraction of requests routed to portion
+// idx so far (0 before any routing).
+func (d *Dispatcher) Fraction(idx int) float64 {
+	if d.total == 0 {
+		return 0
+	}
+	return float64(d.counts[idx]) / float64(d.total)
+}
+
+// Total returns the number of requests routed.
+func (d *Dispatcher) Total() int64 { return d.total }

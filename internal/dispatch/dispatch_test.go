@@ -1,0 +1,79 @@
+package dispatch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/model"
+)
+
+func TestNewRejectsBadPortions(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Fatal("empty portions accepted")
+	}
+	if _, err := New([]alloc.Portion{{Server: 0, Alpha: 0.4}}); err == nil {
+		t.Fatal("α sum 0.4 accepted")
+	}
+	if _, err := New([]alloc.Portion{{Server: 0, Alpha: -0.5}, {Server: 1, Alpha: 1.5}}); err == nil {
+		t.Fatal("negative α accepted")
+	}
+}
+
+func TestRouteFrequenciesMatchAlphas(t *testing.T) {
+	d, err := New([]alloc.Portion{
+		{Server: 3, Alpha: 0.5},
+		{Server: 7, Alpha: 0.3},
+		{Server: 9, Alpha: 0.2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	const n = 200000
+	for i := 0; i < n; i++ {
+		idx := d.Route(rng)
+		if idx < 0 || idx > 2 {
+			t.Fatalf("route returned %d", idx)
+		}
+	}
+	if d.Total() != n {
+		t.Fatalf("total = %d", d.Total())
+	}
+	wants := []float64{0.5, 0.3, 0.2}
+	for i, want := range wants {
+		if got := d.Fraction(i); math.Abs(got-want) > 0.01 {
+			t.Fatalf("portion %d frequency %v, want ≈%v", i, got, want)
+		}
+	}
+	if d.Server(1) != model.ServerID(7) {
+		t.Fatalf("Server(1) = %v", d.Server(1))
+	}
+}
+
+func TestRouteSinglePortion(t *testing.T) {
+	d, err := New([]alloc.Portion{{Server: 2, Alpha: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		if d.Route(rng) != 0 {
+			t.Fatal("single portion must always be chosen")
+		}
+	}
+	if d.Fraction(0) != 1 {
+		t.Fatalf("fraction = %v", d.Fraction(0))
+	}
+}
+
+func TestFractionBeforeRouting(t *testing.T) {
+	d, err := New([]alloc.Portion{{Server: 0, Alpha: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Fraction(0) != 0 {
+		t.Fatal("fraction before routing should be 0")
+	}
+}

@@ -1,0 +1,188 @@
+package epoch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+func genScenario(t *testing.T, n int, seed int64) *model.Scenario {
+	t.Helper()
+	cfg := workload.DefaultConfig()
+	cfg.NumClients = n
+	cfg.Seed = seed
+	scen, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return scen
+}
+
+func TestRandomWalkProcess(t *testing.T) {
+	p := RandomWalk{Sigma: 0.2, Min: 0.5, Max: 4}
+	rng := rand.New(rand.NewSource(1))
+	rate := 2.0
+	for i := 0; i < 1000; i++ {
+		rate = p.Next(rng, rate)
+		if rate < 0.5 || rate > 4 {
+			t.Fatalf("rate %v escaped [0.5, 4]", rate)
+		}
+	}
+}
+
+func TestBurstProcess(t *testing.T) {
+	always := Burst{Prob: 1, Factor: 3, Min: 0.1, Max: 100}
+	rng := rand.New(rand.NewSource(1))
+	if got := always.Next(rng, 2); math.Abs(got-6) > 1e-12 {
+		t.Fatalf("burst rate = %v, want 6", got)
+	}
+	never := Burst{Prob: 0, Factor: 3, Min: 0.1, Max: 100}
+	if got := never.Next(rng, 2); got != 2 {
+		t.Fatalf("no-burst rate = %v, want 2", got)
+	}
+	clamped := Burst{Prob: 1, Factor: 100, Min: 0.1, Max: 5}
+	if got := clamped.Next(rng, 2); got != 5 {
+		t.Fatalf("clamped rate = %v, want 5", got)
+	}
+}
+
+func TestRunEpochsWarmStart(t *testing.T) {
+	scen := genScenario(t, 25, 1)
+	cfg := DefaultConfig()
+	cfg.Epochs = 5
+	results, err := Run(scen, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 5 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for e, r := range results {
+		if r.Epoch != e {
+			t.Fatalf("epoch numbering broken: %+v", r)
+		}
+		if r.PlannedProfit <= 0 {
+			t.Fatalf("epoch %d planned profit %v", e, r.PlannedProfit)
+		}
+		if r.ActiveServers <= 0 {
+			t.Fatalf("epoch %d active servers %d", e, r.ActiveServers)
+		}
+		if r.SolveTime <= 0 {
+			t.Fatalf("epoch %d solve time %v", e, r.SolveTime)
+		}
+	}
+	// With perfect prediction (lag 0), realized ≈ planned in every epoch.
+	for e, r := range results {
+		if r.SaturatedClients != 0 {
+			t.Fatalf("epoch %d: %d saturated clients with perfect prediction", e, r.SaturatedClients)
+		}
+		if math.Abs(r.RealizedProfit-r.PlannedProfit) > 1e-6*(1+math.Abs(r.PlannedProfit)) {
+			t.Fatalf("epoch %d: realized %v != planned %v with perfect prediction",
+				e, r.RealizedProfit, r.PlannedProfit)
+		}
+	}
+	// First epoch has no previous allocation → no migrations counted.
+	if results[0].Migrations != 0 {
+		t.Fatalf("epoch 0 migrations = %d", results[0].Migrations)
+	}
+}
+
+func TestRunEpochsPredictionLagHurts(t *testing.T) {
+	scen := genScenario(t, 25, 2)
+	perfect := DefaultConfig()
+	perfect.Epochs = 8
+	perfect.Process = RandomWalk{Sigma: 0.35, Min: 0.2, Max: 9}
+	lagged := perfect
+	lagged.PredictionLag = 1 // always provisions for last epoch's rates
+
+	rp, err := Run(scen, perfect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, err := Run(scen, lagged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var perfectTotal, laggedTotal float64
+	var laggedSaturated int
+	for e := range rp {
+		perfectTotal += rp[e].RealizedProfit
+		laggedTotal += rl[e].RealizedProfit
+		laggedSaturated += rl[e].SaturatedClients
+	}
+	if laggedTotal >= perfectTotal {
+		t.Fatalf("stale predictions should cost profit: lagged %v >= perfect %v",
+			laggedTotal, perfectTotal)
+	}
+	if laggedSaturated == 0 {
+		t.Fatal("strong drift with stale predictions should saturate some clients")
+	}
+}
+
+func TestRunEpochsWarmVsColdQuality(t *testing.T) {
+	scen := genScenario(t, 20, 3)
+	warm := DefaultConfig()
+	warm.Epochs = 6
+	cold := warm
+	cold.WarmStart = false
+
+	rw, err := Run(scen, warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := Run(scen, cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var warmTotal, coldTotal float64
+	var warmMigrations, coldMigrations int
+	for e := range rw {
+		warmTotal += rw[e].PlannedProfit
+		coldTotal += rc[e].PlannedProfit
+		warmMigrations += rw[e].Migrations
+		coldMigrations += rc[e].Migrations
+	}
+	// Warm starts must stay competitive on profit...
+	if warmTotal < 0.9*coldTotal {
+		t.Fatalf("warm-start profit %v far below cold %v", warmTotal, coldTotal)
+	}
+	// ...and cause no more migration churn than re-solving from scratch.
+	if warmMigrations > coldMigrations {
+		t.Fatalf("warm-start migrations %d exceed cold %d", warmMigrations, coldMigrations)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	scen := genScenario(t, 5, 4)
+	cfg := DefaultConfig()
+	cfg.Epochs = 0
+	if _, err := Run(scen, cfg); err == nil {
+		t.Fatal("zero epochs accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.Process = nil
+	if _, err := Run(scen, cfg); err == nil {
+		t.Fatal("nil process accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.PredictionLag = 2
+	if _, err := Run(scen, cfg); err == nil {
+		t.Fatal("lag > 1 accepted")
+	}
+}
+
+func TestRunDoesNotMutateInput(t *testing.T) {
+	scen := genScenario(t, 10, 5)
+	before := scen.Clients[0].ArrivalRate
+	cfg := DefaultConfig()
+	cfg.Epochs = 3
+	if _, err := Run(scen, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if scen.Clients[0].ArrivalRate != before {
+		t.Fatal("Run mutated the caller's scenario")
+	}
+}

@@ -1,0 +1,26 @@
+// Package model defines the entities of the cloud computing system from
+// Goudarzi & Pedram (ICDCS 2011): server classes, servers, clusters,
+// utility (SLA) classes, clients, and complete scenarios.
+//
+// All capacities are normalized units, as in the paper. The model carries
+// no behaviour beyond bookkeeping, validation and serialization; queueing
+// math lives in internal/queueing and solvers in internal/core and
+// internal/baseline.
+package model
+
+// ServerClassID identifies a server class (hardware type) within a Cloud.
+type ServerClassID int
+
+// UtilityClassID identifies an SLA utility class within a Cloud.
+type UtilityClassID int
+
+// ClusterID identifies a cluster within a Cloud.
+type ClusterID int
+
+// ServerID identifies a server globally within a Cloud (index into
+// Cloud.Servers).
+type ServerID int
+
+// ClientID identifies a client within a Scenario (index into
+// Scenario.Clients).
+type ClientID int

@@ -1,0 +1,57 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// WriteJSON serializes the scenario to w as indented JSON.
+func (s *Scenario) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		return fmt.Errorf("encode scenario: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON parses a scenario from r and validates it.
+func ReadJSON(r io.Reader) (*Scenario, error) {
+	var s Scenario
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("decode scenario: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// SaveFile writes the scenario to path.
+func (s *Scenario) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("save scenario: %w", err)
+	}
+	defer f.Close()
+	if err := s.WriteJSON(f); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("save scenario: %w", err)
+	}
+	return nil
+}
+
+// LoadFile reads and validates a scenario from path.
+func LoadFile(path string) (*Scenario, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("load scenario: %w", err)
+	}
+	defer f.Close()
+	return ReadJSON(f)
+}

@@ -1,0 +1,151 @@
+package multitier
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+// testCloud builds a paper-shaped cloud without clients.
+func testCloud(t *testing.T, seed int64) model.Cloud {
+	t.Helper()
+	cfg := workload.DefaultConfig()
+	cfg.NumClients = 1 // generator requires ≥1; we discard the clients
+	cfg.Seed = seed
+	scen, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return scen.Cloud
+}
+
+func threeTierApp(id int, rate float64) App {
+	return App{
+		ID:            id,
+		Base:          9,
+		Slope:         0.8,
+		ArrivalRate:   rate,
+		PredictedRate: rate,
+		Tiers: []Tier{
+			{ProcTime: 0.3, CommTime: 0.5, DiskNeed: 0.3}, // web: network heavy
+			{ProcTime: 0.8, CommTime: 0.3, DiskNeed: 0.5}, // app: compute heavy
+			{ProcTime: 0.5, CommTime: 0.4, DiskNeed: 1.5}, // db: storage heavy
+		},
+	}
+}
+
+func TestAppValidate(t *testing.T) {
+	good := threeTierApp(0, 1)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*App)
+	}{
+		{"no tiers", func(a *App) { a.Tiers = nil }},
+		{"zero rate", func(a *App) { a.ArrivalRate = 0 }},
+		{"negative slope", func(a *App) { a.Slope = -1 }},
+		{"zero tier exec", func(a *App) { a.Tiers[1].ProcTime = 0 }},
+		{"negative tier disk", func(a *App) { a.Tiers[2].DiskNeed = -1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			app := threeTierApp(0, 1)
+			tt.mutate(&app)
+			if err := app.Validate(); err == nil {
+				t.Fatal("invalid app accepted")
+			}
+		})
+	}
+}
+
+func TestSolveMultiTier(t *testing.T) {
+	cloud := testCloud(t, 1)
+	apps := []App{
+		threeTierApp(0, 1.5),
+		threeTierApp(1, 2.0),
+		threeTierApp(2, 0.8),
+	}
+	sol, err := Solve(cloud, apps, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sol.Alloc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.Compiled.Clients) != 9 {
+		t.Fatalf("compiled %d pseudo-clients, want 9", len(sol.Compiled.Clients))
+	}
+	for ai, app := range apps {
+		if !sol.Served[ai] {
+			t.Fatalf("app %d not fully served", app.ID)
+		}
+		if sol.AppResponse[ai] <= 0 {
+			t.Fatalf("app %d response %v", app.ID, sol.AppResponse[ai])
+		}
+		want := app.ArrivalRate * math.Max(0, app.Base-app.Slope*sol.AppResponse[ai])
+		if math.Abs(sol.AppRevenue[ai]-want) > 1e-9 {
+			t.Fatalf("app %d revenue %v, want %v", app.ID, sol.AppRevenue[ai], want)
+		}
+	}
+	// Every app has one placement per tier.
+	counts := make(map[int]int)
+	for _, p := range sol.Placements {
+		counts[p.App]++
+	}
+	for _, app := range apps {
+		if counts[app.ID] != len(app.Tiers) {
+			t.Fatalf("app %d has %d placements", app.ID, counts[app.ID])
+		}
+	}
+	// End-to-end response is the sum of tier responses.
+	var app0 float64
+	for _, p := range sol.Placements {
+		if p.App == 0 {
+			app0 += p.Response
+		}
+	}
+	if math.Abs(app0-sol.AppResponse[0]) > 1e-9 {
+		t.Fatalf("tier responses %v do not sum to app response %v", app0, sol.AppResponse[0])
+	}
+	if sol.Profit <= 0 {
+		t.Fatalf("profit %v", sol.Profit)
+	}
+}
+
+func TestSolveRejectsBadInput(t *testing.T) {
+	cloud := testCloud(t, 2)
+	if _, err := Solve(cloud, nil, DefaultConfig()); err == nil {
+		t.Fatal("empty app list accepted")
+	}
+	bad := threeTierApp(0, 1)
+	bad.Tiers[0].ProcTime = -1
+	if _, err := Solve(cloud, []App{bad}, DefaultConfig()); err == nil {
+		t.Fatal("invalid app accepted")
+	}
+}
+
+func TestProfitAccountsForClipping(t *testing.T) {
+	// An app with a very tight SLA that cannot be met earns zero revenue
+	// at the app level even when individual tiers look fine.
+	cloud := testCloud(t, 3)
+	tight := threeTierApp(0, 2)
+	tight.Base = 0.5
+	tight.Slope = 10
+	sol, err := Solve(cloud, []App{tight}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Served[0] {
+		t.Skip("app not placed; nothing to assert")
+	}
+	if sol.AppRevenue[0] != 0 {
+		t.Fatalf("unmeetable SLA should earn 0, got %v", sol.AppRevenue[0])
+	}
+	if sol.Profit >= 0 {
+		t.Fatalf("serving only an unmeetable SLA should lose money, profit %v", sol.Profit)
+	}
+}

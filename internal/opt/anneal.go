@@ -1,0 +1,64 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// AnnealState is a candidate solution for simulated annealing. Neighbor
+// must return a random neighbor without mutating the receiver.
+type AnnealState interface {
+	// Energy is the value being minimized.
+	Energy() float64
+	// Neighbor proposes a random nearby state.
+	Neighbor(rng *rand.Rand) AnnealState
+}
+
+// AnnealConfig tunes the annealing schedule.
+type AnnealConfig struct {
+	// InitialTemp is the starting temperature (in energy units).
+	InitialTemp float64
+	// Cooling multiplies the temperature each step (0 < Cooling < 1).
+	Cooling float64
+	// Steps is the number of proposals.
+	Steps int
+	// Seed drives proposals and acceptance.
+	Seed int64
+}
+
+// DefaultAnnealConfig is a mild geometric schedule.
+func DefaultAnnealConfig() AnnealConfig {
+	return AnnealConfig{InitialTemp: 1, Cooling: 0.999, Steps: 5000, Seed: 1}
+}
+
+// Anneal minimizes the state's energy with the Metropolis criterion and a
+// geometric cooling schedule, returning the best state visited.
+func Anneal(start AnnealState, cfg AnnealConfig) (AnnealState, error) {
+	if cfg.Steps <= 0 {
+		return nil, fmt.Errorf("opt: anneal steps = %d", cfg.Steps)
+	}
+	if cfg.Cooling <= 0 || cfg.Cooling >= 1 {
+		return nil, fmt.Errorf("opt: anneal cooling = %v", cfg.Cooling)
+	}
+	if cfg.InitialTemp <= 0 {
+		return nil, fmt.Errorf("opt: anneal initial temperature = %v", cfg.InitialTemp)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	cur := start
+	curE := cur.Energy()
+	best, bestE := cur, curE
+	temp := cfg.InitialTemp
+	for step := 0; step < cfg.Steps; step++ {
+		next := cur.Neighbor(rng)
+		nextE := next.Energy()
+		if nextE <= curE || rng.Float64() < math.Exp((curE-nextE)/temp) {
+			cur, curE = next, nextE
+			if curE < bestE {
+				best, bestE = cur, curE
+			}
+		}
+		temp *= cfg.Cooling
+	}
+	return best, nil
+}

@@ -1,0 +1,70 @@
+package opt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// quadState anneals over a 1-D quadratic bowl with minimum at 3.
+type quadState struct {
+	x float64
+}
+
+func (s quadState) Energy() float64 { return (s.x - 3) * (s.x - 3) }
+
+func (s quadState) Neighbor(rng *rand.Rand) AnnealState {
+	return quadState{x: s.x + rng.NormFloat64()*0.5}
+}
+
+func TestAnnealFindsQuadraticMinimum(t *testing.T) {
+	cfg := AnnealConfig{InitialTemp: 2, Cooling: 0.995, Steps: 3000, Seed: 1}
+	best, err := Anneal(quadState{x: -10}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := best.(quadState)
+	if !ok {
+		t.Fatalf("foreign state %T", best)
+	}
+	if math.Abs(got.x-3) > 0.3 {
+		t.Fatalf("annealed to %v, want ≈3", got.x)
+	}
+}
+
+func TestAnnealReturnsBestVisited(t *testing.T) {
+	// Even if the walk wanders off late, the best state is retained.
+	cfg := AnnealConfig{InitialTemp: 100, Cooling: 0.9999, Steps: 2000, Seed: 2}
+	best, err := Anneal(quadState{x: 3}, cfg) // start at the optimum
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Energy() > 1e-12 {
+		t.Fatalf("lost the optimal start: energy %v", best.Energy())
+	}
+}
+
+func TestAnnealValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  AnnealConfig
+	}{
+		{"zero steps", AnnealConfig{InitialTemp: 1, Cooling: 0.9, Steps: 0}},
+		{"cooling 0", AnnealConfig{InitialTemp: 1, Cooling: 0, Steps: 10}},
+		{"cooling 1", AnnealConfig{InitialTemp: 1, Cooling: 1, Steps: 10}},
+		{"temp 0", AnnealConfig{InitialTemp: 0, Cooling: 0.9, Steps: 10}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Anneal(quadState{}, tt.cfg); err == nil {
+				t.Fatal("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestDefaultAnnealConfigValid(t *testing.T) {
+	if _, err := Anneal(quadState{x: 0}, DefaultAnnealConfig()); err != nil {
+		t.Fatal(err)
+	}
+}

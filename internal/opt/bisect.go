@@ -1,0 +1,74 @@
+// Package opt contains the numerical optimization primitives the
+// allocation heuristic is built from: Lagrange-multiplier water-filling
+// for GPS shares (the closed form of the paper's eq. (16)/(18) plus a
+// binary search on the multiplier), a concave-separable simplex allocator
+// used for dispersion rates, the dynamic program that combines per-server
+// portion values (paper Section V.A), and generic 1-D searches.
+package opt
+
+import "errors"
+
+// ErrNoBracket is returned when a root cannot be bracketed in the given
+// interval.
+var ErrNoBracket = errors.New("opt: root not bracketed")
+
+// _defaultBisectIters bounds the bisection loops; 200 halvings reduce any
+// float64 bracket below 1 ulp.
+const _defaultBisectIters = 200
+
+// Bisect finds x in [lo, hi] with f(x) ≈ 0 for a function that is
+// monotone (either direction) on the interval. It requires f(lo) and
+// f(hi) to have opposite signs (zero counts as either sign).
+func Bisect(f func(float64) float64, lo, hi float64) (float64, error) {
+	flo, fhi := f(lo), f(hi)
+	if flo == 0 {
+		return lo, nil
+	}
+	if fhi == 0 {
+		return hi, nil
+	}
+	if (flo > 0) == (fhi > 0) {
+		return 0, ErrNoBracket
+	}
+	for i := 0; i < _defaultBisectIters; i++ {
+		mid := lo + (hi-lo)/2
+		if mid == lo || mid == hi {
+			break
+		}
+		fm := f(mid)
+		if fm == 0 {
+			return mid, nil
+		}
+		if (fm > 0) == (flo > 0) {
+			lo, flo = mid, fm
+		} else {
+			hi = mid
+		}
+	}
+	return lo + (hi-lo)/2, nil
+}
+
+// GoldenSection maximizes a unimodal function on [lo, hi] and returns the
+// argmax. It performs iters shrink steps (each multiplies the interval by
+// ~0.618).
+func GoldenSection(f func(float64) float64, lo, hi float64, iters int) float64 {
+	const invPhi = 0.6180339887498949
+	a, b := lo, hi
+	x1 := b - invPhi*(b-a)
+	x2 := a + invPhi*(b-a)
+	f1, f2 := f(x1), f(x2)
+	for i := 0; i < iters; i++ {
+		if f1 < f2 {
+			a = x1
+			x1, f1 = x2, f2
+			x2 = a + invPhi*(b-a)
+			f2 = f(x2)
+		} else {
+			b = x2
+			x2, f2 = x1, f1
+			x1 = b - invPhi*(b-a)
+			f1 = f(x1)
+		}
+	}
+	return a + (b-a)/2
+}

@@ -1,0 +1,55 @@
+package opt
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBisectIncreasing(t *testing.T) {
+	x, err := Bisect(func(x float64) float64 { return x*x - 2 }, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x-math.Sqrt2) > 1e-12 {
+		t.Fatalf("root = %v, want √2", x)
+	}
+}
+
+func TestBisectDecreasing(t *testing.T) {
+	x, err := Bisect(func(x float64) float64 { return 3 - x }, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x-3) > 1e-12 {
+		t.Fatalf("root = %v, want 3", x)
+	}
+}
+
+func TestBisectEndpoints(t *testing.T) {
+	if x, err := Bisect(func(x float64) float64 { return x }, 0, 1); err != nil || x != 0 {
+		t.Fatalf("root at lo endpoint: x=%v err=%v", x, err)
+	}
+	if x, err := Bisect(func(x float64) float64 { return x - 1 }, 0, 1); err != nil || x != 1 {
+		t.Fatalf("root at hi endpoint: x=%v err=%v", x, err)
+	}
+}
+
+func TestBisectNoBracket(t *testing.T) {
+	if _, err := Bisect(func(x float64) float64 { return x + 10 }, 0, 1); err != ErrNoBracket {
+		t.Fatalf("err = %v, want ErrNoBracket", err)
+	}
+}
+
+func TestGoldenSection(t *testing.T) {
+	x := GoldenSection(func(x float64) float64 { return -(x - 2) * (x - 2) }, 0, 5, 80)
+	if math.Abs(x-2) > 1e-9 {
+		t.Fatalf("argmax = %v, want 2", x)
+	}
+}
+
+func TestGoldenSectionBoundaryMax(t *testing.T) {
+	x := GoldenSection(func(x float64) float64 { return x }, 0, 1, 80)
+	if math.Abs(x-1) > 1e-9 {
+		t.Fatalf("argmax = %v, want 1", x)
+	}
+}

@@ -1,0 +1,84 @@
+package opt
+
+import (
+	"errors"
+	"math"
+)
+
+// NegInf marks an infeasible cell in a CombinePortions value table.
+var NegInf = math.Inf(-1)
+
+// ErrNoFeasibleCombination is returned when no choice of per-candidate
+// portions sums to the required total.
+var ErrNoFeasibleCombination = errors.New("opt: no feasible portion combination")
+
+// CombinePortions is the dynamic program of the paper's Assign_Distribute:
+// given values[s][g] — the profit contribution of routing g grid units
+// (g·δ of the request stream) to candidate server s — choose g_s ≥ 0 with
+// Σ g_s = total that maximizes Σ values[s][g_s].
+//
+// values[s] may be shorter than total+1; missing cells and NegInf cells
+// are infeasible. values[s][0] must be 0 for "route nothing" to be free.
+// Returns the best value and the chosen grid units per candidate.
+func CombinePortions(values [][]float64, total int) (float64, []int, error) {
+	if total < 0 {
+		return 0, nil, errors.New("opt: negative total")
+	}
+	if len(values) == 0 {
+		if total == 0 {
+			return 0, nil, nil
+		}
+		return 0, nil, ErrNoFeasibleCombination
+	}
+	// dp[g] = best value routing g units among candidates seen so far.
+	dp := make([]float64, total+1)
+	next := make([]float64, total+1)
+	for g := 1; g <= total; g++ {
+		dp[g] = NegInf
+	}
+	// choice[s][g] = units given to candidate s in the best solution that
+	// routes g units among candidates 0..s.
+	choice := make([][]int16, len(values))
+
+	for s, vals := range values {
+		choice[s] = make([]int16, total+1)
+		for g := 0; g <= total; g++ {
+			next[g] = NegInf
+			choice[s][g] = -1
+		}
+		maxG := len(vals) - 1
+		if maxG > total {
+			maxG = total
+		}
+		for g := 0; g <= total; g++ {
+			if dp[g] == NegInf {
+				continue
+			}
+			for u := 0; u+g <= total && u <= maxG; u++ {
+				v := vals[u]
+				if v == NegInf || math.IsNaN(v) {
+					continue
+				}
+				if cand := dp[g] + v; cand > next[g+u] {
+					next[g+u] = cand
+					choice[s][g+u] = int16(u)
+				}
+			}
+		}
+		dp, next = next, dp
+	}
+	if dp[total] == NegInf {
+		return 0, nil, ErrNoFeasibleCombination
+	}
+	units := make([]int, len(values))
+	g := total
+	for s := len(values) - 1; s >= 0; s-- {
+		u := int(choice[s][g])
+		if u < 0 {
+			return 0, nil, ErrNoFeasibleCombination
+		}
+		units[s] = u
+		g -= u
+	}
+	return dp[total], units, nil
+}

@@ -1,0 +1,177 @@
+package queueing
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMM1SojournTail(t *testing.T) {
+	// μ=2, λ=1 → T ~ Exp(1): P(T>1) = e^{−1}.
+	tail, err := MM1SojournTail(2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tail-math.Exp(-1)) > 1e-12 {
+		t.Fatalf("tail = %v, want e^-1", tail)
+	}
+	if tail, err := MM1SojournTail(2, 1, -1); err != nil || tail != 1 {
+		t.Fatalf("negative t: tail=%v err=%v", tail, err)
+	}
+	if _, err := MM1SojournTail(1, 1, 1); !errors.Is(err, ErrUnstable) {
+		t.Fatalf("saturated: err = %v", err)
+	}
+}
+
+func TestMM1SojournPercentile(t *testing.T) {
+	// μ−λ = 1 → median = ln 2.
+	p, err := MM1SojournPercentile(2, 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-math.Ln2) > 1e-12 {
+		t.Fatalf("median = %v, want ln2", p)
+	}
+	if _, err := MM1SojournPercentile(2, 1, 0); err == nil {
+		t.Fatal("q=0 accepted")
+	}
+	if _, err := MM1SojournPercentile(2, 1, 1); err == nil {
+		t.Fatal("q=1 accepted")
+	}
+}
+
+// mm1PercentileMatchesMeanRelation: for an exponential distribution the
+// mean equals the 63.2-percentile ( 1 − e^{−1} ).
+func TestMM1PercentileMeanRelation(t *testing.T) {
+	mean, err := MM1ResponseTime(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := MM1SojournPercentile(3, 1, 1-math.Exp(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mean-q) > 1e-9 {
+		t.Fatalf("mean %v != 63.2th percentile %v", mean, q)
+	}
+}
+
+func tandemArgs() (PortionShares, ServerCaps, ExecTimes) {
+	return PortionShares{Proc: 0.5, Comm: 0.5},
+		ServerCaps{Proc: 4, Comm: 2},
+		ExecTimes{Proc: 1, Comm: 0.5}
+}
+
+func TestTandemSojournTailBoundaries(t *testing.T) {
+	sh, caps, ex := tandemArgs()
+	tail0, err := TandemSojournTail(sh, caps, ex, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tail0-1) > 1e-12 {
+		t.Fatalf("P(T>0) = %v, want 1", tail0)
+	}
+	tailBig, err := TandemSojournTail(sh, caps, ex, 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tailBig > 1e-12 {
+		t.Fatalf("P(T>100) = %v, want ≈0", tailBig)
+	}
+	if _, err := TandemSojournTail(PortionShares{Proc: 0.1, Comm: 0.5}, caps, ex, 1, 1); !errors.Is(err, ErrUnstable) {
+		t.Fatalf("saturated stage: err = %v", err)
+	}
+}
+
+func TestTandemSojournTailEqualRates(t *testing.T) {
+	// Both stages μ−λ = 1 → Erlang-2 tail (1+t)e^{−t}.
+	sh := PortionShares{Proc: 0.5, Comm: 0.5}
+	caps := ServerCaps{Proc: 4, Comm: 4}
+	ex := ExecTimes{Proc: 1, Comm: 1}
+	tail, err := TandemSojournTail(sh, caps, ex, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3 * math.Exp(-2)
+	if math.Abs(tail-want) > 1e-9 {
+		t.Fatalf("Erlang-2 tail = %v, want %v", tail, want)
+	}
+}
+
+func TestTandemPercentileInvertsTail(t *testing.T) {
+	sh, caps, ex := tandemArgs()
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		tq, err := TandemSojournPercentile(sh, caps, ex, 1, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tail, err := TandemSojournTail(sh, caps, ex, 1, tq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(tail-(1-q)) > 1e-9 {
+			t.Fatalf("q=%v: tail(t_q) = %v, want %v", q, tail, 1-q)
+		}
+	}
+	if _, err := TandemSojournPercentile(sh, caps, ex, 1, 1.5); err == nil {
+		t.Fatal("q>1 accepted")
+	}
+}
+
+// Property: the tandem tail is monotone decreasing in t and percentiles
+// are monotone increasing in q.
+func TestTandemTailMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sh := PortionShares{Proc: 0.3 + 0.6*rng.Float64(), Comm: 0.3 + 0.6*rng.Float64()}
+		caps := ServerCaps{Proc: 2 + 4*rng.Float64(), Comm: 2 + 4*rng.Float64()}
+		ex := ExecTimes{Proc: 0.4 + 0.6*rng.Float64(), Comm: 0.4 + 0.6*rng.Float64()}
+		rate := 0.3 * math.Min(sh.Proc*caps.Proc/ex.Proc, sh.Comm*caps.Comm/ex.Comm)
+		t1 := rng.Float64() * 3
+		t2 := t1 + 0.1 + rng.Float64()
+		a, err1 := TandemSojournTail(sh, caps, ex, rate, t1)
+		b, err2 := TandemSojournTail(sh, caps, ex, rate, t2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if b > a+1e-12 {
+			return false
+		}
+		p50, err3 := TandemSojournPercentile(sh, caps, ex, rate, 0.5)
+		p95, err4 := TandemSojournPercentile(sh, caps, ex, rate, 0.95)
+		if err3 != nil || err4 != nil {
+			return false
+		}
+		return p95 > p50
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeadlineMissProbability(t *testing.T) {
+	sh, caps, ex := tandemArgs()
+	portions := []Portion{
+		{Alpha: 0.5, Shares: sh, Caps: caps},
+		{Alpha: 0.5, Shares: sh, Caps: caps},
+		{Alpha: 0, Shares: PortionShares{}, Caps: caps}, // ignored
+	}
+	// With identical portions at half rate each, the miss probability is
+	// the tail of one portion at rate 0.5.
+	miss, err := DeadlineMissProbability(portions, ex, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := TandemSojournTail(sh, caps, ex, 0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(miss-single) > 1e-12 {
+		t.Fatalf("miss = %v, want %v", miss, single)
+	}
+	if miss <= 0 || miss >= 1 {
+		t.Fatalf("miss probability %v out of range", miss)
+	}
+}

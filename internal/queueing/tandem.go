@@ -1,0 +1,63 @@
+package queueing
+
+// PortionShares are the GPS shares granted to one portion of a client's
+// requests on one server: a processing share and a communication share.
+type PortionShares struct {
+	Proc float64
+	Comm float64
+}
+
+// ServerCaps are the two capacities of the server the portion runs on.
+type ServerCaps struct {
+	Proc float64
+	Comm float64
+}
+
+// ExecTimes are the client's mean execution times per unit resource.
+type ExecTimes struct {
+	Proc float64
+	Comm float64
+}
+
+// TandemDelay is the mean response time of one portion through the
+// pipelined processing→communication queues (paper eq. (1)): the service
+// times are independent and additive, and by Burke's theorem the departure
+// process of the processing M/M/1 queue is Poisson with the same rate, so
+// the communication queue is again M/M/1 with arrival rate a.
+func TandemDelay(sh PortionShares, caps ServerCaps, ex ExecTimes, portionRate float64) (float64, error) {
+	dp, err := PortionDelay(sh.Proc, caps.Proc, ex.Proc, portionRate)
+	if err != nil {
+		return 0, err
+	}
+	db, err := PortionDelay(sh.Comm, caps.Comm, ex.Comm, portionRate)
+	if err != nil {
+		return 0, err
+	}
+	return dp + db, nil
+}
+
+// Portion describes one routed fraction of a client's request stream for
+// response-time aggregation.
+type Portion struct {
+	Alpha  float64 // fraction of the client's requests routed here
+	Shares PortionShares
+	Caps   ServerCaps
+}
+
+// MeanResponseTime aggregates the per-portion tandem delays into the
+// client's overall mean response time: R̄ = Σ_j α_j · d_j, where the
+// portion arrival rate is α_j·λ̃.
+func MeanResponseTime(portions []Portion, ex ExecTimes, predictedRate float64) (float64, error) {
+	var r float64
+	for _, p := range portions {
+		if p.Alpha == 0 {
+			continue
+		}
+		d, err := TandemDelay(p.Shares, p.Caps, ex, p.Alpha*predictedRate)
+		if err != nil {
+			return 0, err
+		}
+		r += p.Alpha * d
+	}
+	return r, nil
+}

@@ -1,0 +1,63 @@
+// Package sim is a discrete-event simulator for an allocation: Poisson
+// request arrivals per client, α-weighted dispatch across the client's
+// portions, and tandem processing→communication M/M/1 queues whose
+// service rates are the GPS shares of the allocation. It measures the
+// realized mean response times, server utilizations and profit, and is
+// used to validate the paper's analytical queueing model (eq. (1)).
+package sim
+
+import "container/heap"
+
+// eventKind discriminates simulator events.
+type eventKind int
+
+const (
+	evArrival eventKind = iota + 1 // a client emits a request
+	evProcDone
+	evCommDone
+)
+
+// event is one scheduled simulator occurrence.
+type event struct {
+	at   float64
+	kind eventKind
+	// client is the emitting client for evArrival.
+	client int
+	// queue indexes the portion queue for completions.
+	queue int
+	// req is the request being completed.
+	req *request
+}
+
+// request tracks one job through its tandem queues.
+type request struct {
+	client    int
+	arrivedAt float64
+}
+
+// eventHeap is a min-heap on event time.
+type eventHeap []event
+
+func (h eventHeap) Len() int            { return len(h) }
+func (h eventHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+var _ heap.Interface = (*eventHeap)(nil)
+
+// fifoQueue is an exponential-service FCFS queue (M/M/1 sojourn times
+// match the GPS analytical model for Poisson arrivals).
+type fifoQueue struct {
+	rate     float64 // service rate μ = φ·C/t
+	busy     bool
+	waiting  []*request
+	busySum  float64 // accumulated busy time
+	lastBusy float64 // when the current service started
+}

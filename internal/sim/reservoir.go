@@ -1,0 +1,51 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// _reservoirSize bounds the per-client response-time sample used for
+// percentile estimates.
+const _reservoirSize = 2048
+
+// reservoir is a classic uniform reservoir sample.
+type reservoir struct {
+	cap     int
+	seen    int
+	samples []float64
+}
+
+func newReservoir(capacity int) *reservoir {
+	return &reservoir{cap: capacity}
+}
+
+// add offers a value; each of the seen values ends up in the sample with
+// equal probability.
+func (r *reservoir) add(rng *rand.Rand, v float64) {
+	r.seen++
+	if len(r.samples) < r.cap {
+		r.samples = append(r.samples, v)
+		return
+	}
+	if idx := rng.Intn(r.seen); idx < r.cap {
+		r.samples[idx] = v
+	}
+}
+
+// percentile estimates the q-quantile from the sample (0 when empty).
+func (r *reservoir) percentile(q float64) float64 {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), r.samples...)
+	sort.Float64s(sorted)
+	idx := int(q * float64(len(sorted)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
