@@ -200,6 +200,85 @@ func BenchmarkAblations(b *testing.B) {
 
 // --- micro-benchmarks of the building blocks ---
 
+// paperAllocation builds a populated allocation on the paper-sized
+// instance (250 clients, 5 clusters × 16 servers = 80 servers) by
+// round-robining clients through Assign_Distribute.
+func paperAllocation(b *testing.B) *alloc.Allocation {
+	b.Helper()
+	cfg := workload.DefaultConfig()
+	cfg.NumClients = 250
+	cfg.MinServersPerCluster = 16
+	cfg.MaxServersPerCluster = 16
+	cfg.Seed = 42
+	scen, err := workload.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	solver, err := core.NewSolver(scen, core.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := alloc.New(scen)
+	numK := scen.Cloud.NumClusters()
+	for i := 0; i < scen.NumClients(); i++ {
+		id := model.ClientID(i)
+		for off := 0; off < numK; off++ {
+			k := model.ClusterID((i + off) % numK)
+			if _, portions, err := solver.AssignDistribute(a, id, k); err == nil {
+				if a.Assign(id, k, portions) == nil {
+					break
+				}
+			}
+		}
+	}
+	if a.NumAssigned() < scen.NumClients()/2 {
+		b.Fatalf("only %d/%d clients placed", a.NumAssigned(), scen.NumClients())
+	}
+	return a
+}
+
+// benchProfitSink defeats dead-code elimination of the profit reads.
+var benchProfitSink float64
+
+// profitMutationLoop drives the sweep-style workload the solver's local
+// search generates — move one client, then re-evaluate total profit —
+// with eval either the incremental or the from-scratch path.
+func profitMutationLoop(b *testing.B, a *alloc.Allocation, eval func() float64) {
+	b.Helper()
+	var ids []model.ClientID
+	for i := 0; i < a.Scenario().NumClients(); i++ {
+		if a.Assigned(model.ClientID(i)) {
+			ids = append(ids, model.ClientID(i))
+		}
+	}
+	benchProfitSink = a.Profit() // settle the ledger outside the timer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := ids[i%len(ids)]
+		k := model.ClusterID(a.ClusterOf(id))
+		portions := a.Portions(id)
+		a.Unassign(id)
+		if err := a.Assign(id, k, portions); err != nil {
+			b.Fatal(err)
+		}
+		benchProfitSink = eval()
+	}
+}
+
+// BenchmarkProfitFull is the pre-refactor evaluation cost: every
+// mutation pays a from-scratch O(clients+servers) profit recompute.
+func BenchmarkProfitFull(b *testing.B) {
+	a := paperAllocation(b)
+	profitMutationLoop(b, a, func() float64 { return a.RecomputeBreakdown().Profit })
+}
+
+// BenchmarkProfitIncremental is the ledger path: the same mutation
+// stream re-prices only the touched client and servers (O(touched)).
+func BenchmarkProfitIncremental(b *testing.B) {
+	a := paperAllocation(b)
+	profitMutationLoop(b, a, func() float64 { return a.ProfitBreakdown().Profit })
+}
+
 // BenchmarkSolveProposed is the raw heuristic cost per solve.
 func BenchmarkSolveProposed(b *testing.B) {
 	for _, n := range []int{50, 200} {

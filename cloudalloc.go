@@ -20,8 +20,15 @@
 //     distributed manager-and-cluster-agents decomposition, in-process or
 //     over TCP (internal/cluster, internal/agentrpc).
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-vs-measured record of every reproduced figure.
+// Profit evaluation — the inner loop of every solver and baseline — is
+// incremental: the allocation keeps a dirty-tracked, per-cluster profit
+// ledger (internal/alloc), so re-evaluating after a local-search move
+// costs O(touched clients and servers) rather than O(cloud), and
+// speculative moves commit or roll back through a transactional API.
+//
+// See DESIGN.md for the system inventory (§7 covers the evaluation
+// engine) and EXPERIMENTS.md for the paper-vs-measured record of every
+// reproduced figure.
 package cloudalloc
 
 import (

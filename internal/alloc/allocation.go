@@ -40,11 +40,27 @@ type serverState struct {
 }
 
 // Allocation is a complete (possibly partial) solution over a scenario.
+// Alongside the raw placement state it maintains an incremental profit
+// ledger (see ledger.go): per-client revenue and per-server cost caches
+// plus per-cluster running totals, kept consistent by dirty-marking every
+// mutation so profit evaluation costs O(touched) instead of O(cloud).
 type Allocation struct {
 	scen      *model.Scenario
 	clusterOf []int
 	portions  [][]Portion
 	servers   []serverState
+
+	// Incremental profit ledger (ledger.go). Entry-indexed caches are
+	// owned by the cluster the client/server belongs to; per-cluster
+	// totals and dirty sets live in ledgers.
+	clientRev    []float64
+	clientServed []bool
+	clientSat    []bool
+	clientDirty  []bool
+	serverCost   []float64
+	serverOn     []bool
+	serverDirty  []bool
+	ledgers      []clusterLedger
 }
 
 // New creates an empty allocation (every client unassigned) for the
@@ -55,6 +71,15 @@ func New(scen *model.Scenario) *Allocation {
 		clusterOf: make([]int, len(scen.Clients)),
 		portions:  make([][]Portion, len(scen.Clients)),
 		servers:   make([]serverState, len(scen.Cloud.Servers)),
+
+		clientRev:    make([]float64, len(scen.Clients)),
+		clientServed: make([]bool, len(scen.Clients)),
+		clientSat:    make([]bool, len(scen.Clients)),
+		clientDirty:  make([]bool, len(scen.Clients)),
+		serverCost:   make([]float64, len(scen.Cloud.Servers)),
+		serverOn:     make([]bool, len(scen.Cloud.Servers)),
+		serverDirty:  make([]bool, len(scen.Cloud.Servers)),
+		ledgers:      make([]clusterLedger, scen.Cloud.NumClusters()),
 	}
 	for i := range a.clusterOf {
 		a.clusterOf[i] = Unassigned
@@ -116,7 +141,10 @@ func (a *Allocation) Assign(i model.ClientID, k model.ClusterID, portions []Port
 			st.clients[i] = struct{}{}
 			st.disk += cl.DiskNeed
 		}
+		a.markServerDirty(p.Server)
 	}
+	a.ledgers[k].assigned++
+	a.markClientDirty(i, int(k))
 	return nil
 }
 
@@ -139,6 +167,23 @@ func (a *Allocation) Unassign(i model.ClientID) (model.ClusterID, []Portion) {
 			delete(st.clients, i)
 			st.disk -= cl.DiskNeed
 		}
+		a.markServerDirty(p.Server)
+	}
+	// Settle the client eagerly so unassigned clients are never dirty:
+	// remove its cached revenue attribution from the cluster's ledger. Any
+	// stale dirty-list entry is skipped at flush time via the flag.
+	led := &a.ledgers[k]
+	led.assigned--
+	a.clientDirty[i] = false
+	led.rev.add(-a.clientRev[i])
+	a.clientRev[i] = 0
+	if a.clientServed[i] {
+		led.served--
+		a.clientServed[i] = false
+	}
+	if a.clientSat[i] {
+		led.saturated--
+		a.clientSat[i] = false
 	}
 	a.clusterOf[i] = Unassigned
 	a.portions[i] = nil

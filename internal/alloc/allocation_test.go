@@ -1,6 +1,7 @@
 package alloc
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -274,6 +275,118 @@ func TestCloneIndependence(t *testing.T) {
 	if a.Profit() == c.Profit() {
 		t.Fatal("profits should differ after divergence")
 	}
+}
+
+// TestCloneLedgerIndependence clones an allocation whose ledger is
+// mid-flight (dirty entries pending) and checks that mutations on either
+// side never leak into the other's cached profit state — a clone sharing
+// cache arrays by accident would corrupt the solver's multi-start loop.
+func TestCloneLedgerIndependence(t *testing.T) {
+	s := testScenario(t)
+	a := New(s)
+	if err := a.Assign(0, 0, fullPortion(0)); err != nil {
+		t.Fatal(err)
+	}
+	// Clone while client 0 is still dirty (no profit evaluation yet).
+	c := a.Clone()
+
+	// Diverge: the original drops its client, the clone gains one.
+	a.Unassign(0)
+	if err := c.Assign(1, 0, fullPortion(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	wantA, gotA := a.RecomputeBreakdown(), a.ProfitBreakdown()
+	wantC, gotC := c.RecomputeBreakdown(), c.ProfitBreakdown()
+	if math.Abs(gotA.Profit-wantA.Profit) > 1e-12 || gotA.Assigned != 0 {
+		t.Fatalf("original ledger corrupted by clone divergence: %+v vs %+v", gotA, wantA)
+	}
+	if math.Abs(gotC.Profit-wantC.Profit) > 1e-12 || gotC.Assigned != 2 {
+		t.Fatalf("clone ledger corrupted by original divergence: %+v vs %+v", gotC, wantC)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mutating the original after the clone has settled must not dirty
+	// the clone, and vice versa.
+	if err := a.Assign(0, 1, []Portion{{Server: 2, Alpha: 1, ProcShare: 0.9, CommShare: 0.9}}); err != nil {
+		t.Fatal(err)
+	}
+	c.Unassign(1)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClusterTxnDeltaExact: a cluster-scoped transaction's Delta equals
+// the difference of from-scratch profit recomputes.
+func TestClusterTxnDeltaExact(t *testing.T) {
+	s := testScenario(t)
+	a := New(s)
+	if err := a.Assign(0, 0, fullPortion(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Assign(1, 0, fullPortion(1)); err != nil {
+		t.Fatal(err)
+	}
+	before := a.RecomputeBreakdown().Profit
+
+	txn := a.BeginCluster(0)
+	txn.Capture(1)
+	a.Unassign(1)
+	after := a.RecomputeBreakdown().Profit
+	if delta := txn.Delta(); math.Abs(delta-(after-before)) > 1e-12 {
+		t.Fatalf("delta = %v, want %v", delta, after-before)
+	}
+	if err := txn.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if p := a.RecomputeBreakdown().Profit; math.Abs(p-before) > 1e-12 {
+		t.Fatalf("profit after rollback = %v, want %v", p, before)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRevenueErrDistinguishesZeroCases: unassigned and saturated clients
+// both price at zero but must be distinguishable for the local search.
+func TestRevenueErrDistinguishesZeroCases(t *testing.T) {
+	s := testScenario(t)
+	a := New(s)
+	if _, err := a.RevenueErr(0); !errors.Is(err, ErrUnassigned) {
+		t.Fatalf("err = %v, want ErrUnassigned", err)
+	}
+	if err := a.Assign(0, 0, fullPortion(0)); err != nil {
+		t.Fatal(err)
+	}
+	rev, err := a.RevenueErr(0)
+	if err != nil || rev <= 0 {
+		t.Fatalf("rev = %v, err = %v", rev, err)
+	}
+	// Saturate the portion behind the allocator's back: quadruple the
+	// predicted rate so μ = φ·C/t no longer exceeds α·λ̃.
+	s.Clients[0].PredictedRate = 100
+	a.portions[0][0].Alpha = 1 // re-dirty the client to force recompute
+	a.markClientDirty(0, 0)
+	a.clientDirty[0] = true
+	if _, err := a.RevenueErr(0); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("err = %v, want ErrSaturated", err)
+	}
+	if a.Revenue(0) != 0 {
+		t.Fatal("saturated client should price at zero")
+	}
+	if b := a.ProfitBreakdown(); b.Saturated != 1 || b.Served != 0 {
+		t.Fatalf("breakdown %+v", b)
+	}
+	s.Clients[0].PredictedRate = 1 // restore the shared scenario
 }
 
 func TestPortionsReturnsCopy(t *testing.T) {

@@ -1,19 +1,30 @@
 package alloc
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"slices"
 
 	"repro/internal/model"
 	"repro/internal/queueing"
 )
+
+// ErrUnassigned reports a revenue query for a client that is not placed.
+var ErrUnassigned = errors.New("alloc: client unassigned")
+
+// ErrSaturated reports a client whose current portions cannot sustain its
+// predicted arrival rate (a portion's tandem queue is unstable). The
+// solver treats this as "infeasible move", distinct from a placement that
+// is merely worth zero revenue.
+var ErrSaturated = errors.New("alloc: client portion saturated")
 
 // ResponseTime returns the mean response time R̄_i of client i under the
 // current allocation (paper eq. (1)). It returns an error if the client is
 // unassigned or any portion is saturated.
 func (a *Allocation) ResponseTime(i model.ClientID) (float64, error) {
 	if !a.Assigned(i) {
-		return 0, fmt.Errorf("alloc: client %d unassigned", i)
+		return 0, fmt.Errorf("alloc: client %d: %w", i, ErrUnassigned)
 	}
 	cl := &a.scen.Clients[i]
 	var r float64
@@ -33,15 +44,42 @@ func (a *Allocation) ResponseTime(i model.ClientID) (float64, error) {
 	return r, nil
 }
 
-// Revenue returns the revenue earned from client i: λ_i · U_{c(i)}(R̄_i),
-// priced at the agreed arrival rate. Saturated or unassigned clients earn
-// zero.
-func (a *Allocation) Revenue(i model.ClientID) float64 {
+// computeRevenue evaluates client i's revenue from scratch: λ_i ·
+// U_{c(i)}(R̄_i) priced at the agreed arrival rate, plus a flag marking a
+// saturated placement. The client must be assigned.
+func (a *Allocation) computeRevenue(i model.ClientID) (rev float64, saturated bool) {
 	r, err := a.ResponseTime(i)
 	if err != nil {
-		return 0
+		return 0, true
 	}
-	return a.scen.Clients[i].ArrivalRate * a.scen.Utility(i).Value(r)
+	return a.scen.Clients[i].ArrivalRate * a.scen.Utility(i).Value(r), false
+}
+
+// Revenue returns the revenue earned from client i. Saturated or
+// unassigned clients earn zero; use RevenueErr to tell the cases apart.
+// The value is served from the ledger cache when clean and settled into
+// it otherwise, so repeated reads inside a local-search sweep are O(1).
+func (a *Allocation) Revenue(i model.ClientID) float64 {
+	rev, _ := a.RevenueErr(i)
+	return rev
+}
+
+// RevenueErr returns client i's revenue, distinguishing the two zero
+// cases the plain Revenue conflates: ErrUnassigned when the client is not
+// placed and ErrSaturated when its portions cannot sustain the predicted
+// rate (an infeasible, not merely worthless, placement).
+func (a *Allocation) RevenueErr(i model.ClientID) (float64, error) {
+	if !a.Assigned(i) {
+		return 0, fmt.Errorf("alloc: client %d: %w", i, ErrUnassigned)
+	}
+	if a.clientDirty[i] {
+		// Settle on read; the stale dirty-list entry is skipped at flush.
+		a.settleClient(i, &a.ledgers[a.clusterOf[i]])
+	}
+	if a.clientSat[i] {
+		return 0, fmt.Errorf("alloc: client %d: %w", i, ErrSaturated)
+	}
+	return a.clientRev[i], nil
 }
 
 // Active reports whether server j serves at least one portion (paper
@@ -67,31 +105,28 @@ type Breakdown struct {
 	Profit        float64
 	ActiveServers int
 	Served        int // clients with positive revenue
+	Saturated     int // assigned clients with saturated portions
 	Assigned      int
 }
 
 // Profit returns total profit: Σ revenue − Σ active-server cost.
 func (a *Allocation) Profit() float64 { return a.ProfitBreakdown().Profit }
 
-// ProfitBreakdown computes the profit and its components in one pass.
+// ProfitBreakdown returns the profit and its components from the
+// incremental ledger: only entries dirtied since the previous evaluation
+// are recomputed, so the cost is O(touched + clusters) rather than
+// O(clients + servers). RecomputeBreakdown is the from-scratch reference.
 func (a *Allocation) ProfitBreakdown() Breakdown {
 	var b Breakdown
-	for i := range a.scen.Clients {
-		if !a.Assigned(model.ClientID(i)) {
-			continue
-		}
-		b.Assigned++
-		rev := a.Revenue(model.ClientID(i))
-		if rev > 0 {
-			b.Served++
-		}
-		b.Revenue += rev
-	}
-	for j := range a.servers {
-		if cost := a.ServerCost(model.ServerID(j)); cost > 0 {
-			b.EnergyCost += cost
-			b.ActiveServers++
-		}
+	for k := range a.ledgers {
+		a.flush(k)
+		led := &a.ledgers[k]
+		b.Revenue += led.rev.value()
+		b.EnergyCost += led.cost.value()
+		b.ActiveServers += led.active
+		b.Served += led.served
+		b.Saturated += led.saturated
+		b.Assigned += led.assigned
 	}
 	b.Profit = b.Revenue - b.EnergyCost
 	return b
@@ -122,7 +157,7 @@ func (a *Allocation) ClientsOn(j model.ServerID) []model.ClientID {
 	for id := range st.clients {
 		out = append(out, id)
 	}
-	sortClientIDs(out)
+	slices.Sort(out)
 	return out
 }
 
@@ -148,14 +183,24 @@ func (a *Allocation) NumAssigned() int {
 	return n
 }
 
-// Clone returns a deep copy of the allocation sharing the (immutable)
-// scenario.
+// Clone returns a deep copy of the allocation — including the profit
+// ledger, so the copy and the original can diverge without corrupting
+// each other's cached totals — sharing the (immutable) scenario.
 func (a *Allocation) Clone() *Allocation {
 	c := &Allocation{
 		scen:      a.scen,
 		clusterOf: append([]int(nil), a.clusterOf...),
 		portions:  make([][]Portion, len(a.portions)),
 		servers:   make([]serverState, len(a.servers)),
+
+		clientRev:    append([]float64(nil), a.clientRev...),
+		clientServed: append([]bool(nil), a.clientServed...),
+		clientSat:    append([]bool(nil), a.clientSat...),
+		clientDirty:  append([]bool(nil), a.clientDirty...),
+		serverCost:   append([]float64(nil), a.serverCost...),
+		serverOn:     append([]bool(nil), a.serverOn...),
+		serverDirty:  append([]bool(nil), a.serverDirty...),
+		ledgers:      make([]clusterLedger, len(a.ledgers)),
 	}
 	for i, ps := range a.portions {
 		if len(ps) > 0 {
@@ -170,12 +215,19 @@ func (a *Allocation) Clone() *Allocation {
 		}
 		c.servers[j] = cs
 	}
+	for k, led := range a.ledgers {
+		cl := led
+		cl.dirtyClients = append([]model.ClientID(nil), led.dirtyClients...)
+		cl.dirtyServers = append([]model.ServerID(nil), led.dirtyServers...)
+		c.ledgers[k] = cl
+	}
 	return c
 }
 
 // Validate re-derives all server state from the portions and checks every
-// problem constraint; it reports the first violation found. Useful as a
-// post-solver invariant check and in property tests.
+// problem constraint, then cross-checks the incremental profit ledger
+// against a from-scratch recompute; it reports the first violation found.
+// Useful as a post-solver invariant check and in property tests.
 func (a *Allocation) Validate() error {
 	fresh := New(a.scen)
 	for i := range a.scen.Clients {
@@ -197,15 +249,8 @@ func (a *Allocation) Validate() error {
 			return fmt.Errorf("alloc: server %d bookkeeping drifted: have %+v want %+v", j, got, want)
 		}
 	}
-	return nil
-}
-
-func sortClientIDs(ids []model.ClientID) {
-	// Insertion sort: server client sets are small and this avoids an
-	// import cycle on sort wrappers.
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
-		}
+	if inc, full, ok := a.ledgerCheck(1e-9); !ok {
+		return fmt.Errorf("alloc: profit ledger drifted: incremental %+v vs recomputed %+v", inc, full)
 	}
+	return nil
 }

@@ -1,6 +1,7 @@
 package alloc
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -93,6 +94,87 @@ func TestAllocationStateMachineProperty(t *testing.T) {
 		}
 		p := a.Profit()
 		return p == p && p < 1e12 && p > -1e12 // finite, sane
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIncrementalLedgerProperty drives random assign/unassign/reassign/
+// transaction sequences — including speculative mutations rolled back via
+// Txn — and checks after every few operations that the incremental
+// ProfitBreakdown matches a from-scratch recompute within 1e-9 and that
+// Validate's ledger cross-check holds.
+func TestIncrementalLedgerProperty(t *testing.T) {
+	cfg := workload.DefaultConfig()
+	cfg.NumClients = 15
+	cfg.MinServersPerCluster = 3
+	cfg.MaxServersPerCluster = 6
+	f := func(seed int64) bool {
+		wcfg := cfg
+		wcfg.Seed = seed
+		scen, err := workload.Generate(wcfg)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed ^ 0x1ed9e4))
+		a := New(scen)
+		check := func(op int) bool {
+			inc := a.ProfitBreakdown()
+			full := a.RecomputeBreakdown()
+			if math.Abs(inc.Profit-full.Profit) > 1e-9 ||
+				math.Abs(inc.Revenue-full.Revenue) > 1e-9 ||
+				math.Abs(inc.EnergyCost-full.EnergyCost) > 1e-9 ||
+				inc.Served != full.Served || inc.Assigned != full.Assigned ||
+				inc.ActiveServers != full.ActiveServers || inc.Saturated != full.Saturated {
+				t.Logf("seed %d op %d: incremental %+v != recomputed %+v", seed, op, inc, full)
+				return false
+			}
+			return true
+		}
+		for op := 0; op < 80; op++ {
+			i := model.ClientID(rng.Intn(scen.NumClients()))
+			switch {
+			case !a.Assigned(i):
+				if k, ps := randomFeasiblePortions(rng, a, i); ps != nil {
+					_ = a.Assign(i, k, ps)
+				}
+			case rng.Float64() < 0.3:
+				a.Unassign(i)
+			case rng.Float64() < 0.5:
+				if k, ps := randomFeasiblePortions(rng, a, i); ps != nil {
+					_ = a.Reassign(i, k, ps)
+				}
+			default:
+				// Speculative transaction: mutate a client (possibly across
+				// clusters, hence global scope), read the delta, then commit
+				// or roll back at random. Both paths must leave the ledger
+				// consistent.
+				txn := a.Begin()
+				txn.Capture(i)
+				a.Unassign(i)
+				if k2, ps := randomFeasiblePortions(rng, a, i); ps != nil {
+					_ = a.Assign(i, k2, ps)
+				}
+				if _ = txn.Delta(); rng.Float64() < 0.5 {
+					txn.Commit()
+				} else if err := txn.Rollback(); err != nil {
+					t.Logf("seed %d op %d: rollback failed: %v", seed, op, err)
+					return false
+				}
+			}
+			if op%7 == 0 && !check(op) {
+				return false
+			}
+		}
+		if !check(-1) {
+			return false
+		}
+		if err := a.Validate(); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,111 @@
+package alloc
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// Txn is a speculative-mutation scope over an allocation: the local
+// search opens one, captures each client it is about to touch, mutates
+// freely through Assign/Unassign/Reassign, reads the exact profit change
+// with Delta, and then either Commits (keeps the mutations) or Rolls
+// back (restores every captured client, newest first). The ledger stays
+// consistent on both paths because restoration replays through the same
+// Assign/Unassign mutation hooks.
+//
+// A transaction scoped to one cluster (BeginCluster) reads and writes
+// only that cluster's ledger, so per-cluster goroutines may each run
+// their own transaction concurrently — the replacement for the solver's
+// previous ad-hoc undo log plus clone-and-full-recompute profit helpers.
+type Txn struct {
+	a       *Allocation
+	cluster int // scoped cluster, or Unassigned for whole-cloud scope
+	base    float64
+	entries []txnEntry
+	seen    map[model.ClientID]struct{}
+}
+
+type txnEntry struct {
+	client   model.ClientID
+	cluster  model.ClusterID
+	portions []Portion
+	assigned bool
+}
+
+// Begin opens a whole-cloud transaction: Delta measures total profit.
+// Only safe when no other goroutine is mutating the allocation (it
+// settles every cluster's ledger).
+func (a *Allocation) Begin() *Txn {
+	return &Txn{
+		a:       a,
+		cluster: Unassigned,
+		base:    a.Profit(),
+		seen:    make(map[model.ClientID]struct{}),
+	}
+}
+
+// BeginCluster opens a transaction scoped to cluster k: Delta measures
+// the change in that cluster's profit contribution, and the transaction
+// touches no other cluster's ledger. Mutations inside the transaction
+// must stay within cluster k.
+func (a *Allocation) BeginCluster(k model.ClusterID) *Txn {
+	return &Txn{
+		a:       a,
+		cluster: int(k),
+		base:    a.ClusterProfit(k),
+		seen:    make(map[model.ClientID]struct{}),
+	}
+}
+
+// Capture snapshots client i's current placement the first time it is
+// touched, so Rollback can restore it. Call before mutating the client.
+func (t *Txn) Capture(i model.ClientID) {
+	if _, ok := t.seen[i]; ok {
+		return
+	}
+	t.seen[i] = struct{}{}
+	e := txnEntry{client: i}
+	if t.a.Assigned(i) {
+		e.assigned = true
+		e.cluster = model.ClusterID(t.a.ClusterOf(i))
+		e.portions = t.a.Portions(i)
+	}
+	t.entries = append(t.entries, e)
+}
+
+// Delta returns the exact profit change since Begin, evaluated through
+// the incremental ledger: O(touched) per call.
+func (t *Txn) Delta() float64 {
+	if t.cluster == Unassigned {
+		return t.a.Profit() - t.base
+	}
+	return t.a.ClusterProfit(model.ClusterID(t.cluster)) - t.base
+}
+
+// Commit keeps the mutations and discards the undo entries. The Txn must
+// not be reused afterwards.
+func (t *Txn) Commit() {
+	t.entries = nil
+	t.seen = nil
+}
+
+// Rollback restores every captured client, newest first. Restoring a
+// previously-feasible placement cannot fail; an error therefore means
+// the allocation was corrupted mid-transaction and the caller should
+// surface it (Validate will also catch it).
+func (t *Txn) Rollback() error {
+	for idx := len(t.entries) - 1; idx >= 0; idx-- {
+		e := t.entries[idx]
+		t.a.Unassign(e.client)
+		if !e.assigned {
+			continue
+		}
+		if err := t.a.Assign(e.client, e.cluster, e.portions); err != nil {
+			return fmt.Errorf("alloc: transaction rollback of client %d failed: %w", e.client, err)
+		}
+	}
+	t.entries = nil
+	t.seen = nil
+	return nil
+}

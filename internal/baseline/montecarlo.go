@@ -77,6 +77,9 @@ func RunMonteCarlo(scen *model.Scenario, cfg MCConfig) (Envelope, error) {
 		if err != nil {
 			return Envelope{}, err
 		}
+		// First evaluation of a fresh draw settles every ledger entry
+		// (O(clients+servers), unavoidable); the post-search evaluation
+		// below then re-prices only the clients the search actually moved.
 		p0 := a.Profit()
 		env.BestInitial = math.Max(env.BestInitial, p0)
 		env.WorstInitial = math.Min(env.WorstInitial, p0)

@@ -64,6 +64,9 @@ func SolveModifiedPS(scen *model.Scenario, cfg PSConfig) (*alloc.Allocation, err
 		if f <= 0 || f > 1 {
 			return nil, fmt.Errorf("baseline: active fraction %v outside (0,1]", f)
 		}
+		// Each sweep setting builds its own allocation, so this first
+		// Profit() settles the whole ledger once per attempt; any later
+		// re-evaluation of the winner is incremental.
 		a := psAttempt(scen, f, cfg.Headroom)
 		if p := a.Profit(); p > bestProfit {
 			best, bestProfit = a, p

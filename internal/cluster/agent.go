@@ -132,20 +132,12 @@ func (ag *LocalAgent) Improve() (ImproveStats, error) {
 	return st, nil
 }
 
-// Profit implements Agent.
+// Profit implements Agent: the cluster's profit contribution read from
+// the allocation's incremental ledger — O(entries touched since the last
+// evaluation) instead of a full scan over clients and servers, so the
+// manager can poll agents every improvement round at scale.
 func (ag *LocalAgent) Profit() (float64, error) {
-	scen := ag.solver.Scenario()
-	var p float64
-	for i := range scen.Clients {
-		id := model.ClientID(i)
-		if ag.a.ClusterOf(id) == int(ag.k) {
-			p += ag.a.Revenue(id)
-		}
-	}
-	for _, j := range scen.Cloud.ClusterServers(ag.k) {
-		p -= ag.a.ServerCost(j)
-	}
-	return p, nil
+	return ag.a.ClusterProfit(ag.k), nil
 }
 
 // Snapshot implements Agent.

@@ -247,7 +247,9 @@ func (m *Manager) improveRound(stats *ManagerStats) (float64, error) {
 	return total, nil
 }
 
-// totalProfit sums the agents' cluster profits.
+// totalProfit sums the agents' cluster profits. Each agent answers from
+// its allocation's incremental ledger, so a round's total costs
+// O(mutations since the previous round), not O(cloud).
 func (m *Manager) totalProfit() (float64, error) {
 	var total float64
 	for k, ag := range m.agents {

@@ -12,8 +12,10 @@ import (
 // server j with the dispersion rates held fixed (paper Section V.B.1).
 // With fixed α the problem is convex; the KKT solution is the water-fill
 // of eq. (18), run independently on the processing and communication
-// dimensions. The change is committed only when the exact (clipped-
-// utility) profit does not decrease. Returns true when shares changed.
+// dimensions. The experiment runs inside a cluster-scoped transaction:
+// it commits only when the exact (clipped-utility) profit does not
+// decrease, and rolls the ledger back otherwise. Returns true when
+// shares changed.
 func (s *Solver) AdjustResourceShares(a *alloc.Allocation, j model.ServerID) bool {
 	ids := a.ClientsOn(j)
 	if len(ids) == 0 {
@@ -49,11 +51,13 @@ func (s *Solver) AdjustResourceShares(a *alloc.Allocation, j model.ServerID) boo
 		return false
 	}
 
-	before := s.revenueOf(a, ids)
-	undo := newUndoLog()
+	// A share change on server j re-prices every client with a portion on
+	// j; the transaction's captures and the ledger's dirty-marking track
+	// exactly that set, so Delta is O(touched).
+	txn := a.BeginCluster(srv.Cluster)
 	ok := true
 	for n, i := range ids {
-		undo.capture(a, i)
+		txn.Capture(i)
 		k, ps := a.Unassign(i)
 		for pi := range ps {
 			if ps[pi].Server == j {
@@ -66,8 +70,8 @@ func (s *Solver) AdjustResourceShares(a *alloc.Allocation, j model.ServerID) boo
 			break
 		}
 	}
-	if !ok || s.revenueOf(a, ids) < before-1e-12 {
-		if err := undo.revert(a); err != nil {
+	if !ok || txn.Delta() < -1e-12 {
+		if err := txn.Rollback(); err != nil {
 			// Restoring a previously-feasible state cannot fail; if it
 			// somehow does, the allocation is corrupt and the caller's
 			// Validate will catch it.
@@ -75,18 +79,8 @@ func (s *Solver) AdjustResourceShares(a *alloc.Allocation, j model.ServerID) boo
 		}
 		return false
 	}
+	txn.Commit()
 	return true
-}
-
-// revenueOf sums the exact (clipped) revenue of the given clients. The
-// server energy cost does not change under share adjustment (utilization
-// depends on α only), so revenue comparison suffices.
-func (s *Solver) revenueOf(a *alloc.Allocation, ids []model.ClientID) float64 {
-	var r float64
-	for _, i := range ids {
-		r += a.Revenue(i)
-	}
-	return r
 }
 
 // AdjustDispersionRates re-optimizes client i's dispersion rates α_ij
@@ -148,33 +142,20 @@ func (s *Solver) AdjustDispersionRates(a *alloc.Allocation, i model.ClientID) bo
 		return false
 	}
 
-	before := s.portionLocalProfit(a, i, ps)
-	undo := newUndoLog()
-	undo.capture(a, i)
+	// The move changes only client i's revenue and the costs of the
+	// servers it touches; the cluster-scoped transaction measures exactly
+	// that delta from the ledger.
+	txn := a.BeginCluster(k)
+	txn.Capture(i)
 	a.Unassign(i)
 	if err := a.Assign(i, k, next); err != nil {
-		_ = undo.revert(a)
+		_ = txn.Rollback()
 		return false
 	}
-	if s.portionLocalProfit(a, i, ps) < before-1e-12 {
-		_ = undo.revert(a)
+	if txn.Delta() < -1e-12 {
+		_ = txn.Rollback()
 		return false
 	}
+	txn.Commit()
 	return true
-}
-
-// portionLocalProfit is client i's revenue minus the cost of the servers
-// in its (previous) portion set — the only terms dispersion adjustment
-// can move.
-func (s *Solver) portionLocalProfit(a *alloc.Allocation, i model.ClientID, touched []alloc.Portion) float64 {
-	p := a.Revenue(i)
-	seen := make(map[model.ServerID]struct{}, len(touched))
-	for _, t := range touched {
-		if _, ok := seen[t.Server]; ok {
-			continue
-		}
-		seen[t.Server] = struct{}{}
-		p -= a.ServerCost(t.Server)
-	}
-	return p
 }

@@ -62,29 +62,28 @@ type moveCandidate struct {
 	delta  float64
 }
 
-// tryActivate experiments with activating server j0: it repeatedly applies
-// the best positive-gain single-client move onto j0 and keeps the result
-// only if the exact cluster profit improved.
+// tryActivate experiments with activating server j0 inside a cluster-
+// scoped transaction: it repeatedly applies the best positive-gain
+// single-client move onto j0 and commits only if the exact cluster
+// profit improved; otherwise the ledger rolls back with the moves.
 func (s *Solver) tryActivate(a *alloc.Allocation, k model.ClusterID, j0 model.ServerID, members []model.ClientID) bool {
-	baseline := s.clusterProfit(a, k, members)
-	undo := newUndoLog()
+	txn := a.BeginCluster(k)
 	maxMoves := 2 * s.cfg.AlphaGranularity
 	for move := 0; move < maxMoves; move++ {
 		best := s.bestMoveOnto(a, k, j0, members)
 		if best == nil {
 			break
 		}
-		undo.capture(a, best.client)
+		txn.Capture(best.client)
 		if err := a.Reassign(best.client, k, best.next); err != nil {
 			break
 		}
 	}
-	if s.clusterProfit(a, k, members) > baseline+_commitMargin {
+	if txn.Delta() > _commitMargin {
+		txn.Commit()
 		return a.Active(j0)
 	}
-	if err := undo.revert(a); err != nil {
-		return false
-	}
+	_ = txn.Rollback()
 	return false
 }
 
@@ -242,11 +241,13 @@ func serverActiveWithout(a *alloc.Allocation, j model.ServerID, i model.ClientID
 // inside the cluster otherwise). The experiment commits when the exact
 // cluster profit improves. Returns the number of servers deactivated.
 func (s *Solver) TurnOffServers(a *alloc.Allocation, k model.ClusterID) int {
-	return s.turnOffServers(a, k, s.membersOf(a, k))
+	return s.turnOffServers(a, k)
 }
 
-// turnOffServers is TurnOffServers with precomputed cluster membership.
-func (s *Solver) turnOffServers(a *alloc.Allocation, k model.ClusterID, members []model.ClientID) int {
+// turnOffServers is the cluster-goroutine-safe body of TurnOffServers: it
+// reads only cluster-local state (drain experiments are evaluated via the
+// cluster-scoped transaction ledger, so no membership snapshot is needed).
+func (s *Solver) turnOffServers(a *alloc.Allocation, k model.ClusterID) int {
 	type ranked struct {
 		server  model.ServerID
 		utility float64
@@ -264,7 +265,7 @@ func (s *Solver) turnOffServers(a *alloc.Allocation, k model.ClusterID, members 
 		if !a.Active(cand.server) {
 			continue // drained as a side effect of an earlier commit
 		}
-		if s.tryDeactivate(a, k, cand.server, members) {
+		if s.tryDeactivate(a, k, cand.server) {
 			deactivated++
 		}
 	}
@@ -286,24 +287,23 @@ func (s *Solver) serverUtility(a *alloc.Allocation, j model.ServerID) float64 {
 	return u
 }
 
-// tryDeactivate drains server j and commits if profitable.
-func (s *Solver) tryDeactivate(a *alloc.Allocation, k model.ClusterID, j model.ServerID, members []model.ClientID) bool {
-	baseline := s.clusterProfit(a, k, members)
-	undo := newUndoLog()
+// tryDeactivate drains server j inside a cluster-scoped transaction and
+// commits if the exact cluster profit improved.
+func (s *Solver) tryDeactivate(a *alloc.Allocation, k model.ClusterID, j model.ServerID) bool {
+	txn := a.BeginCluster(k)
 	ok := true
 	for _, i := range a.ClientsOn(j) {
-		undo.capture(a, i)
+		txn.Capture(i)
 		if !s.rerouteOff(a, i, k, j) {
 			ok = false
 			break
 		}
 	}
-	if ok && s.clusterProfit(a, k, members) > baseline+_commitMargin {
+	if ok && txn.Delta() > _commitMargin {
+		txn.Commit()
 		return true
 	}
-	if err := undo.revert(a); err != nil {
-		return false
-	}
+	_ = txn.Rollback()
 	return false
 }
 

@@ -33,8 +33,15 @@ func (s *Solver) ReassignmentPass(a *alloc.Allocation) int {
 			if err := a.Assign(i, k, portions); err != nil {
 				return 0, false
 			}
-			gain := a.Revenue(i) - (s.portionServerCost(a, portions) - costBefore)
+			// RevenueErr separates "infeasible move" (saturated portions —
+			// reject the candidate) from "worthless move" (zero revenue —
+			// a legitimate gain of −Δcost).
+			rev, revErr := a.RevenueErr(i)
+			gain := rev - (s.portionServerCost(a, portions) - costBefore)
 			a.Unassign(i)
+			if revErr != nil {
+				return 0, false
+			}
 			return gain, true
 		}
 

@@ -219,7 +219,7 @@ func (s *Solver) improvePass(a *alloc.Allocation, stats *Stats) {
 			acts[k] += s.turnOnServers(a, kid, members[k])
 		}
 		if !s.cfg.DisableTurnOff {
-			deacts[k] += s.turnOffServers(a, kid, members[k])
+			deacts[k] += s.turnOffServers(a, kid)
 		}
 	}
 	if s.cfg.Parallel && numK > 1 {

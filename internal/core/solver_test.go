@@ -268,7 +268,7 @@ func TestPlaceBestRejectsWhenFull(t *testing.T) {
 	}
 }
 
-func TestUndoLogRestoresFirstSnapshot(t *testing.T) {
+func TestTxnRollbackRestoresFirstSnapshot(t *testing.T) {
 	scen := smallScenario(t, 5, 51)
 	s := newTestSolver(t, scen, nil)
 	a := alloc.New(scen)
@@ -279,21 +279,21 @@ func TestUndoLogRestoresFirstSnapshot(t *testing.T) {
 	origPortions := a.Portions(0)
 	origProfit := a.Profit()
 
-	undo := newUndoLog()
-	undo.capture(a, 0)
+	txn := a.Begin()
+	txn.Capture(0)
 	// Mutate twice; capture again in between (must be a no-op snapshot).
 	otherK := model.ClusterID((origK + 1) % scen.Cloud.NumClusters())
 	if _, portions, err := s.AssignDistribute(func() *alloc.Allocation { a.Unassign(0); return a }(), 0, otherK); err == nil {
 		_ = a.Assign(0, otherK, portions)
 	}
-	undo.capture(a, 0)
+	txn.Capture(0)
 	a.Unassign(0)
 
-	if err := undo.revert(a); err != nil {
+	if err := txn.Rollback(); err != nil {
 		t.Fatal(err)
 	}
 	if a.ClusterOf(0) != origK {
-		t.Fatalf("revert restored cluster %d, want %d", a.ClusterOf(0), origK)
+		t.Fatalf("rollback restored cluster %d, want %d", a.ClusterOf(0), origK)
 	}
 	got := a.Portions(0)
 	if len(got) != len(origPortions) {
@@ -301,6 +301,9 @@ func TestUndoLogRestoresFirstSnapshot(t *testing.T) {
 	}
 	if math.Abs(a.Profit()-origProfit) > 1e-12 {
 		t.Fatalf("profit %v, want %v", a.Profit(), origProfit)
+	}
+	if delta := txn.Delta(); math.Abs(delta) > 1e-12 {
+		t.Fatalf("delta after rollback = %v, want 0", delta)
 	}
 	if err := a.Validate(); err != nil {
 		t.Fatal(err)
