@@ -34,8 +34,10 @@ package cloudalloc
 import (
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"net"
+	"net/http"
 
 	"repro/internal/agentrpc"
 	"repro/internal/alloc"
@@ -45,6 +47,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/queueing"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -108,6 +111,13 @@ type (
 	ManagerConfig = cluster.ManagerConfig
 	// ManagerStats reports a distributed solve.
 	ManagerStats = cluster.ManagerStats
+
+	// Telemetry bundles a metrics registry, a span tracer and a
+	// structured logger. A nil *Telemetry disables observability at zero
+	// cost everywhere it is accepted.
+	Telemetry = telemetry.Set
+	// SpanRecord is one finished span from the telemetry trace buffer.
+	SpanRecord = telemetry.SpanRecord
 )
 
 // LoadScenario reads a scenario JSON file.
@@ -170,6 +180,30 @@ func WithLocalSearchBudget(iters int) Option {
 func WithShadowPriceScale(scale float64) Option {
 	return optionFunc(func(c *core.Config) { c.ShadowPriceScale = scale })
 }
+
+// WithTelemetry routes solver metrics, phase spans and ledger counters
+// to the set (nil leaves observability disabled).
+func WithTelemetry(set *Telemetry) Option {
+	return optionFunc(func(c *core.Config) { c.Telemetry = set })
+}
+
+// NewTelemetry builds an enabled telemetry set: a fresh metrics
+// registry, a default-capacity span tracer and the given logger (a
+// discarding logger when nil). Hand it to solvers, agents, managers and
+// RPC endpoints, then expose it with DebugHandler.
+func NewTelemetry(log *slog.Logger) *Telemetry { return telemetry.New(log) }
+
+// NewTextLogger builds a structured text logger writing to w; level is
+// an slog level ("info" semantics at 0, "debug" at -4).
+func NewTextLogger(w io.Writer, level int) *slog.Logger {
+	return telemetry.NewTextLogger(w, slog.Level(level))
+}
+
+// DebugHandler serves the set's observability surface over HTTP:
+// /metrics (Prometheus text), /debug/vars (expvar JSON), /debug/trace
+// (recent spans as JSON) and /debug/pprof. A nil set yields a handler
+// whose endpoints report telemetry as disabled.
+func DebugHandler(set *Telemetry) http.Handler { return telemetry.Handler(set) }
 
 // Allocator runs the paper's Resource_Alloc heuristic.
 type Allocator struct {
@@ -255,8 +289,19 @@ type AgentServer = agentrpc.Server
 // returned server.
 func ServeAgent(l net.Listener, ag Agent) *AgentServer { return agentrpc.NewServer(l, ag) }
 
+// ServeAgentWith is ServeAgent with server-side RPC telemetry (per-op
+// call/error counters, latency histograms, byte counters and spans).
+func ServeAgentWith(l net.Listener, ag Agent, set *Telemetry) *AgentServer {
+	return agentrpc.NewServer(l, ag, agentrpc.WithTelemetry(set))
+}
+
 // DialAgent connects to a served agent and returns it as an Agent.
 func DialAgent(addr string) (Agent, error) { return agentrpc.Dial(addr) }
+
+// DialAgentWith is DialAgent with client-side RPC telemetry.
+func DialAgentWith(addr string, set *Telemetry) (Agent, error) {
+	return agentrpc.Dial(addr, agentrpc.WithTelemetry(set))
+}
 
 // DeadlineMissProbability returns the analytic probability that a request
 // of client id exceeds the deadline under allocation a, aggregated over

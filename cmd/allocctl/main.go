@@ -30,9 +30,10 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("allocctl", flag.ContinueOnError)
 	var (
-		path  = fs.String("scenario", "", "scenario JSON path (required)")
-		addrs = fs.String("agents", "", "comma-separated agent addresses, one per cluster, in cluster order")
-		seed  = fs.Int64("seed", 1, "manager seed")
+		path    = fs.String("scenario", "", "scenario JSON path (required)")
+		addrs   = fs.String("agents", "", "comma-separated agent addresses, one per cluster, in cluster order")
+		seed    = fs.Int64("seed", 1, "manager seed")
+		metrics = fs.Bool("metrics", false, "after the solve, dump manager and client-side RPC metrics (Prometheus text) to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -44,9 +45,13 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	var tel *cloudalloc.Telemetry
+	if *metrics {
+		tel = cloudalloc.NewTelemetry(nil)
+	}
 	var agents []cloudalloc.Agent
 	for _, addr := range strings.Split(*addrs, ",") {
-		ag, err := cloudalloc.DialAgent(strings.TrimSpace(addr))
+		ag, err := cloudalloc.DialAgentWith(strings.TrimSpace(addr), tel)
 		if err != nil {
 			return err
 		}
@@ -54,6 +59,7 @@ func run(args []string) error {
 	}
 	cfg := cloudalloc.DefaultManagerConfig()
 	cfg.Seed = *seed
+	cfg.Telemetry = tel
 	mgr, err := cloudalloc.NewManager(scen, agents, cfg)
 	if err != nil {
 		return err
@@ -72,7 +78,14 @@ func run(args []string) error {
 	fmt.Fprintf(w, "activations / deactivations\t%d / %d\n", stats.Activations, stats.Deactivations)
 	fmt.Fprintf(w, "clients assigned\t%d of %d\n", b.Assigned, scen.NumClients())
 	fmt.Fprintf(w, "active servers\t%d\n", b.ActiveServers)
+	fmt.Fprintf(w, "initial pass\t%s\n", stats.InitElapsed)
+	for i, d := range stats.RoundDurations {
+		fmt.Fprintf(w, "round %d\t%s\n", i+1, d)
+	}
 	fmt.Fprintf(w, "elapsed\t%s\n", stats.Elapsed)
 	w.Flush()
+	if tel != nil {
+		tel.Metrics.WritePrometheus(os.Stderr)
+	}
 	return nil
 }

@@ -5,12 +5,21 @@
 // Usage:
 //
 //	allocd -scenario scenario.json -cluster 0 -listen 127.0.0.1:7070
+//
+// With -debug-addr the daemon also serves its observability surface:
+//
+//	allocd -scenario scenario.json -cluster 0 -debug-addr 127.0.0.1:9090
+//	curl 127.0.0.1:9090/metrics      # Prometheus text exposition
+//	curl 127.0.0.1:9090/debug/trace  # recent solver/RPC spans as JSON
+//	curl 127.0.0.1:9090/debug/vars   # expvar JSON
+//	go tool pprof 127.0.0.1:9090/debug/pprof/profile
 package main
 
 import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 
 	cloudalloc "repro"
@@ -26,9 +35,11 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("allocd", flag.ContinueOnError)
 	var (
-		path    = fs.String("scenario", "", "scenario JSON path (required)")
-		clustID = fs.Int("cluster", 0, "cluster index this agent manages")
-		listen  = fs.String("listen", "127.0.0.1:7070", "listen address")
+		path      = fs.String("scenario", "", "scenario JSON path (required)")
+		clustID   = fs.Int("cluster", 0, "cluster index this agent manages")
+		listen    = fs.String("listen", "127.0.0.1:7070", "listen address")
+		debugAddr = fs.String("debug-addr", "", "serve /metrics, /debug/vars, /debug/trace and /debug/pprof on this address; also enables telemetry")
+		verbose   = fs.Bool("v", false, "structured debug logging to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -40,7 +51,30 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	agent, err := cloudalloc.NewLocalAgent(scen, cloudalloc.ClusterID(*clustID))
+
+	// Telemetry is opt-in: without -debug-addr the set stays nil and every
+	// instrumentation site in the agent collapses to a nil check.
+	var tel *cloudalloc.Telemetry
+	if *debugAddr != "" {
+		var logLevel = 0 // slog info
+		if *verbose {
+			logLevel = -4 // slog debug
+		}
+		tel = cloudalloc.NewTelemetry(cloudalloc.NewTextLogger(os.Stderr, logLevel))
+		dl, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		go func() {
+			if err := http.Serve(dl, cloudalloc.DebugHandler(tel)); err != nil {
+				tel.Logger().Error("debug server stopped", "err", err)
+			}
+		}()
+		fmt.Printf("allocd: debug endpoints on http://%s/metrics\n", dl.Addr())
+	}
+
+	agent, err := cloudalloc.NewLocalAgent(scen, cloudalloc.ClusterID(*clustID),
+		cloudalloc.WithTelemetry(tel))
 	if err != nil {
 		return err
 	}
@@ -48,7 +82,8 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	srv := cloudalloc.ServeAgent(l, agent)
+	srv := cloudalloc.ServeAgentWith(l, agent, tel)
+	tel.Logger().Info("serving", "cluster", *clustID, "scenario", *path, "addr", srv.Addr().String())
 	fmt.Printf("allocd: serving cluster %d of %s on %s\n", *clustID, *path, srv.Addr())
 	return srv.Serve()
 }

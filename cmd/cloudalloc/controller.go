@@ -69,6 +69,7 @@ func runController(args []string) error {
 		tracePath = fs.String("trace", "", "trace CSV path (required)")
 		policyArg = fs.String("policy", "threshold:0.2", "always, never, threshold:<rel>, periodic:<n>")
 		predArg   = fs.String("predictor", "", "'' (oracle), last, ewma:<alpha>, holt:<alpha>,<beta>, mean:<window>")
+		metrics   = fs.Bool("metrics", false, "collect controller/solver telemetry and dump it (Prometheus text) to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -99,20 +100,28 @@ func runController(args []string) error {
 	if err != nil {
 		return err
 	}
+	var tel *cloudalloc.Telemetry
+	if *metrics {
+		tel = cloudalloc.NewTelemetry(nil)
+		cfg.Telemetry = tel
+	}
 
 	sum, err := cloudalloc.RunController(scen, tr, cfg)
 	if err != nil {
 		return err
 	}
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "epoch\tre-decided\trealized profit\tsaturated\tsolve time")
+	fmt.Fprintln(w, "epoch\tdrift\tre-decided\trealized profit\tsaturated\tsolve time")
 	for _, st := range sum.Steps {
-		fmt.Fprintf(w, "%d\t%v\t%.2f\t%d\t%s\n",
-			st.Epoch, st.Resolved, st.RealizedProfit, st.SaturatedClients, st.SolveTime.Round(1e6))
+		fmt.Fprintf(w, "%d\t%.2f\t%v\t%.2f\t%d\t%s\n",
+			st.Epoch, st.Drift, st.Resolved, st.RealizedProfit, st.SaturatedClients, st.SolveTime.Round(1e6))
 	}
-	fmt.Fprintf(w, "total\t%d decisions\t%.2f\t\t%s\n",
+	fmt.Fprintf(w, "total\t\t%d decisions\t%.2f\t\t%s\n",
 		sum.Decisions, sum.TotalProfit, sum.TotalSolveTime.Round(1e6))
 	w.Flush()
+	if tel != nil {
+		tel.Metrics.WritePrometheus(os.Stderr)
+	}
 	return nil
 }
 

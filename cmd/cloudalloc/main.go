@@ -56,6 +56,7 @@ func runGen(args []string) error {
 		clients  = fs.Int("clients", 50, "number of clients")
 		seed     = fs.Int64("seed", 1, "generator seed")
 		clusters = fs.Int("clusters", 5, "number of clusters")
+		servers  = fs.Int("servers", 0, "exact servers per cluster (0 keeps the default random range)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -64,6 +65,10 @@ func runGen(args []string) error {
 	cfg.NumClients = *clients
 	cfg.Seed = *seed
 	cfg.NumClusters = *clusters
+	if *servers > 0 {
+		cfg.MinServersPerCluster = *servers
+		cfg.MaxServersPerCluster = *servers
+	}
 	scen, err := cloudalloc.GenerateScenario(cfg)
 	if err != nil {
 		return err
@@ -86,6 +91,7 @@ func runSolve(args []string) error {
 		draws    = fs.Int("draws", 200, "Monte-Carlo draws")
 		simulate = fs.Bool("simulate", false, "validate the result with the discrete-event simulator")
 		save     = fs.String("save", "", "write the resulting allocation to this JSON file")
+		metrics  = fs.Bool("metrics", false, "collect solver/simulator telemetry and dump it (Prometheus text) to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -97,11 +103,16 @@ func runSolve(args []string) error {
 	if err != nil {
 		return err
 	}
+	var tel *cloudalloc.Telemetry
+	if *metrics {
+		tel = cloudalloc.NewTelemetry(nil)
+	}
 
 	var a *cloudalloc.Allocation
 	switch *method {
 	case "proposed":
-		al, err := cloudalloc.NewAllocator(scen, cloudalloc.WithSeed(*seed), cloudalloc.WithParallel(*parallel))
+		al, err := cloudalloc.NewAllocator(scen, cloudalloc.WithSeed(*seed),
+			cloudalloc.WithParallel(*parallel), cloudalloc.WithTelemetry(tel))
 		if err != nil {
 			return err
 		}
@@ -168,12 +179,16 @@ func runSolve(args []string) error {
 	}
 	if *simulate {
 		cfg := cloudalloc.DefaultSimConfig()
+		cfg.Telemetry = tel
 		res, err := cloudalloc.Simulate(a, cfg)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("simulation: %d requests completed, realized profit %.2f (analytic %.2f)\n",
 			res.Completed, res.Profit, res.AnalyticValue)
+	}
+	if tel != nil {
+		tel.Metrics.WritePrometheus(os.Stderr)
 	}
 	return nil
 }

@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"repro/internal/experiment"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -33,15 +34,22 @@ func run(args []string) error {
 		seed      = fs.Int64("seed", 1, "base seed")
 		draws     = fs.Int("draws", 0, "override Monte-Carlo draws per scenario (0 = mode default)")
 		scenarios = fs.Int("scenarios", 0, "override scenarios per client count (0 = mode default)")
+		metrics   = fs.Bool("metrics", false, "collect solver telemetry across the run and dump it (Prometheus text) to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var tel *telemetry.Set
+	if *metrics {
+		tel = telemetry.New(nil)
+		defer tel.Metrics.WritePrometheus(os.Stderr)
 	}
 
 	var sweepPoints []experiment.SweepPoint
 	needSweep := *which == "all" || *which == "fig4" || *which == "fig5"
 	if needSweep {
 		cfg := sweepConfig(*quick, *seed)
+		cfg.Solver.Telemetry = tel
 		if *draws > 0 {
 			cfg.MCDraws = *draws
 		}
@@ -68,38 +76,38 @@ func run(args []string) error {
 		fmt.Println(experiment.Fig5Table(sweepPoints))
 		fmt.Println(experiment.Fig5Chart(sweepPoints))
 	case "complexity":
-		return runComplexity(*quick, *seed)
+		return runComplexity(*quick, *seed, tel)
 	case "sim":
-		return runSim(*quick, *seed)
+		return runSim(*quick, *seed, tel)
 	case "ablation":
-		return runAblation(*quick, *seed)
+		return runAblation(*quick, *seed, tel)
 	case "comparators":
-		return runComparators(*quick, *seed)
+		return runComparators(*quick, *seed, tel)
 	case "epochs":
-		return runEpochs(*quick, *seed)
+		return runEpochs(*quick, *seed, tel)
 	case "predictors":
-		return runPredictors(*quick, *seed)
+		return runPredictors(*quick, *seed, tel)
 	case "all":
 		fmt.Println(experiment.Fig4Table(sweepPoints))
 		fmt.Println(experiment.Fig4Chart(sweepPoints))
 		fmt.Println(experiment.Fig5Table(sweepPoints))
 		fmt.Println(experiment.Fig5Chart(sweepPoints))
-		if err := runComplexity(*quick, *seed); err != nil {
+		if err := runComplexity(*quick, *seed, tel); err != nil {
 			return err
 		}
-		if err := runSim(*quick, *seed); err != nil {
+		if err := runSim(*quick, *seed, tel); err != nil {
 			return err
 		}
-		if err := runAblation(*quick, *seed); err != nil {
+		if err := runAblation(*quick, *seed, tel); err != nil {
 			return err
 		}
-		if err := runComparators(*quick, *seed); err != nil {
+		if err := runComparators(*quick, *seed, tel); err != nil {
 			return err
 		}
-		if err := runEpochs(*quick, *seed); err != nil {
+		if err := runEpochs(*quick, *seed, tel); err != nil {
 			return err
 		}
-		return runPredictors(*quick, *seed)
+		return runPredictors(*quick, *seed, tel)
 	default:
 		return fmt.Errorf("unknown experiment %q", *which)
 	}
@@ -128,9 +136,10 @@ func sweepConfig(quick bool, seed int64) experiment.SweepConfig {
 	return cfg
 }
 
-func runComplexity(quick bool, seed int64) error {
+func runComplexity(quick bool, seed int64, tel *telemetry.Set) error {
 	cfg := experiment.DefaultComplexityConfig()
 	cfg.BaseSeed = seed
+	cfg.Solver.Telemetry = tel
 	if quick {
 		cfg.ClientCounts = []int{25, 50, 100}
 		cfg.Repeats = 2
@@ -143,9 +152,11 @@ func runComplexity(quick bool, seed int64) error {
 	return nil
 }
 
-func runSim(quick bool, seed int64) error {
+func runSim(quick bool, seed int64, tel *telemetry.Set) error {
 	cfg := experiment.DefaultValidationConfig()
 	cfg.Seed = seed
+	cfg.Solver.Telemetry = tel
+	cfg.Sim.Telemetry = tel
 	if quick {
 		cfg.Clients = 30
 		cfg.Sim.Horizon = 5000
@@ -159,9 +170,10 @@ func runSim(quick bool, seed int64) error {
 	return nil
 }
 
-func runAblation(quick bool, seed int64) error {
+func runAblation(quick bool, seed int64, tel *telemetry.Set) error {
 	cfg := experiment.DefaultAblationConfig()
 	cfg.BaseSeed = seed
+	cfg.Solver.Telemetry = tel
 	if quick {
 		cfg.Clients = 50
 		cfg.Scenarios = 4
@@ -174,9 +186,10 @@ func runAblation(quick bool, seed int64) error {
 	return nil
 }
 
-func runComparators(quick bool, seed int64) error {
+func runComparators(quick bool, seed int64, tel *telemetry.Set) error {
 	cfg := experiment.DefaultComparatorConfig()
 	cfg.BaseSeed = seed
+	cfg.Solver.Telemetry = tel
 	if quick {
 		cfg.Clients = 40
 		cfg.Scenarios = 3
@@ -190,9 +203,10 @@ func runComparators(quick bool, seed int64) error {
 	return nil
 }
 
-func runEpochs(quick bool, seed int64) error {
+func runEpochs(quick bool, seed int64, tel *telemetry.Set) error {
 	cfg := experiment.DefaultEpochsConfig()
 	cfg.Seed = seed
+	cfg.Solver.Telemetry = tel
 	if quick {
 		cfg.Clients = 30
 		cfg.Epochs = 12
@@ -205,9 +219,10 @@ func runEpochs(quick bool, seed int64) error {
 	return nil
 }
 
-func runPredictors(quick bool, seed int64) error {
+func runPredictors(quick bool, seed int64, tel *telemetry.Set) error {
 	cfg := experiment.DefaultPredictorConfig()
 	cfg.Seed = seed
+	cfg.Solver.Telemetry = tel
 	if quick {
 		cfg.Clients = 25
 		cfg.Epochs = 10

@@ -11,10 +11,12 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/alloc"
 	"repro/internal/cluster"
 	"repro/internal/model"
+	"repro/internal/telemetry"
 )
 
 // op enumerates the remote operations.
@@ -29,7 +31,28 @@ const (
 	opImprove
 	opProfit
 	opSnapshot
+
+	opEnd // sentinel: number of ops + 1
 )
+
+var opNames = [opEnd]string{
+	opClusterID: "cluster_id",
+	opReset:     "reset",
+	opEvaluate:  "evaluate",
+	opCommit:    "commit",
+	opRemove:    "remove",
+	opImprove:   "improve",
+	opProfit:    "profit",
+	opSnapshot:  "snapshot",
+}
+
+// String names the op for error messages, metric labels and spans.
+func (o op) String() string {
+	if o > 0 && o < opEnd {
+		return opNames[o]
+	}
+	return "unknown"
+}
 
 // request is the wire format of one call.
 type request struct {
@@ -52,14 +75,19 @@ type response struct {
 type Server struct {
 	listener net.Listener
 	agent    cluster.Agent
+	tel      *rpcTel
 
 	mu sync.Mutex // serializes agent access across connections
 	wg sync.WaitGroup
 }
 
 // NewServer wraps an agent behind a listener. Call Serve to start.
-func NewServer(l net.Listener, ag cluster.Agent) *Server {
-	return &Server{listener: l, agent: ag}
+func NewServer(l net.Listener, ag cluster.Agent, opts ...Option) *Server {
+	var o options
+	for _, apply := range opts {
+		apply(&o)
+	}
+	return &Server{listener: l, agent: ag, tel: newRPCTel(o.tel, "server")}
 }
 
 // Serve accepts connections until the listener is closed.
@@ -93,8 +121,12 @@ func (s *Server) Addr() net.Addr { return s.listener.Addr() }
 
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
+	var rw io.ReadWriter = conn
+	if s.tel != nil {
+		rw = &countingConn{Conn: conn, in: s.tel.bytesIn, out: s.tel.bytesOut}
+	}
+	dec := gob.NewDecoder(rw)
+	enc := gob.NewEncoder(rw)
 	for {
 		var req request
 		if err := dec.Decode(&req); err != nil {
@@ -108,8 +140,20 @@ func (s *Server) handle(conn net.Conn) {
 }
 
 func (s *Server) dispatch(req request) response {
+	var (
+		t0          time.Time
+		calls, errs *telemetry.Counter
+		latency     *telemetry.Histogram
+		spanName    string
+		sp          telemetry.Span
+	)
+	if s.tel != nil {
+		calls, errs, latency, spanName = s.tel.handles(req.Op)
+		calls.Inc()
+		sp = s.tel.set.Start(spanName)
+		t0 = time.Now()
+	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	var resp response
 	var err error
 	switch req.Op {
@@ -132,8 +176,17 @@ func (s *Server) dispatch(req request) response {
 	default:
 		err = fmt.Errorf("agentrpc: unknown op %d", req.Op)
 	}
+	s.mu.Unlock()
 	if err != nil {
 		resp.Err = err.Error()
+	}
+	if s.tel != nil {
+		latency.ObserveSince(t0)
+		if err != nil {
+			errs.Inc()
+			sp.Attr("error", err.Error())
+		}
+		sp.End()
 	}
 	return resp
 }
@@ -142,42 +195,81 @@ func (s *Server) dispatch(req request) response {
 // connection to a Server.
 type RemoteAgent struct {
 	mu   sync.Mutex
+	addr string
 	conn net.Conn
 	enc  *gob.Encoder
 	dec  *gob.Decoder
+	tel  *rpcTel
 }
 
 var _ cluster.Agent = (*RemoteAgent)(nil)
 
 // Dial connects to a served agent.
-func Dial(addr string) (*RemoteAgent, error) {
+func Dial(addr string, opts ...Option) (*RemoteAgent, error) {
+	var o options
+	for _, apply := range opts {
+		apply(&o)
+	}
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("agentrpc: dial %s: %w", addr, err)
 	}
-	return &RemoteAgent{
-		conn: conn,
-		enc:  gob.NewEncoder(conn),
-		dec:  gob.NewDecoder(conn),
-	}, nil
+	r := &RemoteAgent{addr: addr, conn: conn, tel: newRPCTel(o.tel, "client")}
+	var rw io.ReadWriter = conn
+	if r.tel != nil {
+		rw = &countingConn{Conn: conn, in: r.tel.bytesIn, out: r.tel.bytesOut}
+	}
+	r.enc = gob.NewEncoder(rw)
+	r.dec = gob.NewDecoder(rw)
+	return r, nil
 }
 
-// call performs one synchronous round trip.
+// call performs one synchronous round trip. Every error is annotated
+// with the op name and the peer address so a multi-agent manager can
+// tell which cluster and which call failed; client-side RPC telemetry
+// (latency, calls, errors, spans) hangs off the same path.
 func (r *RemoteAgent) call(req request) (response, error) {
+	var (
+		t0          time.Time
+		calls, errs *telemetry.Counter
+		latency     *telemetry.Histogram
+		sp          telemetry.Span
+	)
+	if r.tel != nil {
+		var spanName string
+		calls, errs, latency, spanName = r.tel.handles(req.Op)
+		calls.Inc()
+		sp = r.tel.set.Start(spanName)
+		sp.Attr("peer", r.addr)
+		t0 = time.Now()
+	}
+	resp, err := r.roundTrip(req)
+	if r.tel != nil {
+		latency.ObserveSince(t0)
+		if err != nil {
+			errs.Inc()
+			sp.Attr("error", err.Error())
+		}
+		sp.End()
+	}
+	return resp, err
+}
+
+func (r *RemoteAgent) roundTrip(req request) (response, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if err := r.enc.Encode(req); err != nil {
-		return response{}, fmt.Errorf("agentrpc: send: %w", err)
+		return response{}, fmt.Errorf("agentrpc: %s %s: send: %w", req.Op, r.addr, err)
 	}
 	var resp response
 	if err := r.dec.Decode(&resp); err != nil {
 		if errors.Is(err, io.EOF) {
-			return response{}, fmt.Errorf("agentrpc: connection closed: %w", err)
+			return response{}, fmt.Errorf("agentrpc: %s %s: connection closed: %w", req.Op, r.addr, err)
 		}
-		return response{}, fmt.Errorf("agentrpc: receive: %w", err)
+		return response{}, fmt.Errorf("agentrpc: %s %s: receive: %w", req.Op, r.addr, err)
 	}
 	if resp.Err != "" {
-		return resp, errors.New(resp.Err)
+		return resp, fmt.Errorf("agentrpc: %s %s: remote: %s", req.Op, r.addr, resp.Err)
 	}
 	return resp, nil
 }

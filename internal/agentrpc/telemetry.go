@@ -1,0 +1,83 @@
+package agentrpc
+
+import (
+	"net"
+
+	"repro/internal/telemetry"
+)
+
+// Option configures a Server or RemoteAgent.
+type Option func(*options)
+
+type options struct {
+	tel *telemetry.Set
+}
+
+// WithTelemetry wires RPC metrics (per-op latency histograms,
+// call/error counters, byte counters) and per-call spans into the
+// server or client it is passed to.
+func WithTelemetry(set *telemetry.Set) Option {
+	return func(o *options) { o.tel = set }
+}
+
+// rpcTel holds pre-resolved per-op handles, indexed by op. A nil
+// *rpcTel disables instrumentation.
+type rpcTel struct {
+	set       *telemetry.Set
+	calls     [opEnd]*telemetry.Counter
+	errors    [opEnd]*telemetry.Counter
+	latency   [opEnd]*telemetry.Histogram
+	bytesIn   *telemetry.Counter
+	bytesOut  *telemetry.Counter
+	spanNames [opEnd]string
+}
+
+// newRPCTel resolves handles for one side of the protocol; side is
+// "client" or "server".
+func newRPCTel(set *telemetry.Set, side string) *rpcTel {
+	if set == nil {
+		return nil
+	}
+	set.Metrics.Help("rpc_"+side+"_latency_seconds", "agentrpc "+side+"-side round-trip latency per op")
+	t := &rpcTel{
+		set:      set,
+		bytesIn:  set.Counter("rpc_" + side + "_bytes_received_total"),
+		bytesOut: set.Counter("rpc_" + side + "_bytes_sent_total"),
+	}
+	for o := op(0); o < opEnd; o++ {
+		name := o.String()
+		t.calls[o] = set.Counter(telemetry.Name("rpc_"+side+"_calls_total", "op", name))
+		t.errors[o] = set.Counter(telemetry.Name("rpc_"+side+"_errors_total", "op", name))
+		t.latency[o] = set.Histogram(telemetry.Name("rpc_"+side+"_latency_seconds", "op", name), telemetry.DurationBuckets)
+		t.spanNames[o] = "rpc." + name
+	}
+	return t
+}
+
+// handles returns the per-op instruments, tolerating out-of-range ops
+// (a corrupt or future peer) by folding them onto index 0.
+func (t *rpcTel) handles(o op) (*telemetry.Counter, *telemetry.Counter, *telemetry.Histogram, string) {
+	if o <= 0 || o >= opEnd {
+		o = 0
+	}
+	return t.calls[o], t.errors[o], t.latency[o], t.spanNames[o]
+}
+
+// countingConn counts bytes crossing a net.Conn into telemetry
+// counters; the counters are atomic so the conn needs no extra locking.
+type countingConn struct {
+	net.Conn
+	in, out *telemetry.Counter
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.in.Add(int64(n))
+	return n, err
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.out.Add(int64(n))
+	return n, err
+}

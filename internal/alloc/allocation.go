@@ -61,6 +61,10 @@ type Allocation struct {
 	serverOn     []bool
 	serverDirty  []bool
 	ledgers      []clusterLedger
+
+	// tel instruments the ledger (nil, the default, disables it); see
+	// Instrument.
+	tel *ledgerTel
 }
 
 // New creates an empty allocation (every client unassigned) for the

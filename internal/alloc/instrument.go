@@ -1,0 +1,55 @@
+package alloc
+
+import (
+	"repro/internal/telemetry"
+)
+
+// ledgerTel holds the ledger's pre-resolved metric handles. A nil
+// *ledgerTel on the Allocation (the default) disables instrumentation;
+// the settle path then pays one nil check per flush.
+type ledgerTel struct {
+	set            *telemetry.Set
+	flushes        *telemetry.Counter
+	settledClients *telemetry.Counter
+	settledServers *telemetry.Counter
+}
+
+// settleSpanMinEntries keeps per-flush spans out of the trace ring for
+// the (very frequent) tiny settles: only batch flushes — the ones worth
+// seeing in /debug/trace — are recorded. Metrics count every flush.
+const settleSpanMinEntries = 32
+
+// Instrument attaches telemetry to the allocation's profit ledger:
+// flush/settle counters and a span per batch settle. Passing nil
+// detaches. Clones inherit the instrumentation.
+func (a *Allocation) Instrument(set *telemetry.Set) {
+	if set == nil {
+		a.tel = nil
+		return
+	}
+	set.Metrics.Help("ledger_flushes_total", "profit-ledger flushes that settled at least one dirty entry")
+	a.tel = &ledgerTel{
+		set:            set,
+		flushes:        set.Counter("ledger_flushes_total"),
+		settledClients: set.Counter("ledger_settled_clients_total"),
+		settledServers: set.Counter("ledger_settled_servers_total"),
+	}
+}
+
+// recordFlush folds one flush's settle counts into the metrics and, for
+// batch settles, the trace ring.
+func (t *ledgerTel) recordFlush(k int, clients, servers int) {
+	if clients+servers == 0 {
+		return
+	}
+	t.flushes.Inc()
+	t.settledClients.Add(int64(clients))
+	t.settledServers.Add(int64(servers))
+	if clients+servers >= settleSpanMinEntries {
+		sp := t.set.Start("ledger.settle")
+		sp.Attr("cluster", k)
+		sp.Attr("clients", clients)
+		sp.Attr("servers", servers)
+		sp.End()
+	}
+}

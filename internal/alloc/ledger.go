@@ -123,6 +123,7 @@ func (a *Allocation) settleServer(j model.ServerID, led *clusterLedger) {
 // clusters are safe.
 func (a *Allocation) flush(k int) {
 	led := &a.ledgers[k]
+	var settledC, settledS int
 	if len(led.dirtyClients) > 0 {
 		for _, i := range led.dirtyClients {
 			// Skip stale entries: the client was settled on read,
@@ -131,6 +132,7 @@ func (a *Allocation) flush(k int) {
 				continue
 			}
 			a.settleClient(i, led)
+			settledC++
 		}
 		led.dirtyClients = led.dirtyClients[:0]
 	}
@@ -140,8 +142,12 @@ func (a *Allocation) flush(k int) {
 				continue
 			}
 			a.settleServer(j, led)
+			settledS++
 		}
 		led.dirtyServers = led.dirtyServers[:0]
+	}
+	if a.tel != nil {
+		a.tel.recordFlush(k, settledC, settledS)
 	}
 }
 

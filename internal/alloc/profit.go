@@ -201,6 +201,7 @@ func (a *Allocation) Clone() *Allocation {
 		serverOn:     append([]bool(nil), a.serverOn...),
 		serverDirty:  append([]bool(nil), a.serverDirty...),
 		ledgers:      make([]clusterLedger, len(a.ledgers)),
+		tel:          a.tel, // clones keep reporting to the same metrics
 	}
 	for i, ps := range a.portions {
 		if len(ps) > 0 {

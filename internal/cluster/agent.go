@@ -12,6 +12,7 @@ import (
 	"repro/internal/alloc"
 	"repro/internal/core"
 	"repro/internal/model"
+	"repro/internal/telemetry"
 )
 
 // EvalResult is an agent's bid for hosting a client.
@@ -58,11 +59,14 @@ type LocalAgent struct {
 	k      model.ClusterID
 	solver *core.Solver
 	a      *alloc.Allocation
+	tel    *telemetry.Set // nil when telemetry is disabled
 }
 
 var _ Agent = (*LocalAgent)(nil)
 
-// NewLocalAgent builds an agent for cluster k of the scenario.
+// NewLocalAgent builds an agent for cluster k of the scenario. When
+// cfg.Telemetry is set, both the agent's solver and its allocation
+// ledger report to it.
 func NewLocalAgent(scen *model.Scenario, k model.ClusterID, cfg core.Config) (*LocalAgent, error) {
 	if int(k) < 0 || int(k) >= scen.Cloud.NumClusters() {
 		return nil, fmt.Errorf("cluster: unknown cluster %d", k)
@@ -74,7 +78,9 @@ func NewLocalAgent(scen *model.Scenario, k model.ClusterID, cfg core.Config) (*L
 	if err != nil {
 		return nil, err
 	}
-	return &LocalAgent{k: k, solver: solver, a: alloc.New(scen)}, nil
+	ag := &LocalAgent{k: k, solver: solver, a: alloc.New(scen), tel: cfg.Telemetry}
+	ag.a.Instrument(ag.tel)
+	return ag, nil
 }
 
 // ClusterID implements Agent.
@@ -83,6 +89,7 @@ func (ag *LocalAgent) ClusterID() (model.ClusterID, error) { return ag.k, nil }
 // Reset implements Agent.
 func (ag *LocalAgent) Reset() error {
 	ag.a = alloc.New(ag.solver.Scenario())
+	ag.a.Instrument(ag.tel)
 	return nil
 }
 

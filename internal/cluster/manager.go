@@ -4,11 +4,13 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/alloc"
 	"repro/internal/model"
+	"repro/internal/telemetry"
 )
 
 // ManagerConfig tunes the distributed solve.
@@ -22,6 +24,9 @@ type ManagerConfig struct {
 	Tolerance float64
 	// Seed drives the client processing order.
 	Seed int64
+	// Telemetry, when non-nil, instruments the manager: solve/round
+	// spans, round-latency histograms and per-cluster profit gauges.
+	Telemetry *telemetry.Set
 }
 
 // DefaultManagerConfig matches the sequential solver's defaults.
@@ -42,7 +47,47 @@ type ManagerStats struct {
 	Activations   int
 	Deactivations int
 	Unplaced      int
-	Elapsed       time.Duration
+	// Elapsed is the wall-clock time of the whole solve; InitElapsed the
+	// share spent building (and replaying) the initial solutions.
+	Elapsed     time.Duration
+	InitElapsed time.Duration
+	// RoundDurations has one entry per improvement round, in order —
+	// the distributed counterpart of core.Stats timing.
+	RoundDurations []time.Duration
+}
+
+// mgrTel holds the manager's pre-resolved metric handles; nil disables.
+type mgrTel struct {
+	set           *telemetry.Set
+	solves        *telemetry.Counter
+	initDur       *telemetry.Histogram
+	roundDur      *telemetry.Histogram
+	clusterProfit []*telemetry.Gauge // one per cluster
+}
+
+func newMgrTel(set *telemetry.Set, numK int) *mgrTel {
+	if set == nil {
+		return nil
+	}
+	set.Metrics.Help("manager_cluster_profit", "per-cluster profit after the most recent improvement round")
+	t := &mgrTel{
+		set:      set,
+		solves:   set.Counter("manager_solves_total"),
+		initDur:  set.Histogram("manager_initial_pass_seconds", telemetry.DurationBuckets),
+		roundDur: set.Histogram("manager_round_seconds", telemetry.DurationBuckets),
+	}
+	for k := 0; k < numK; k++ {
+		t.clusterProfit = append(t.clusterProfit,
+			set.Gauge(telemetry.Name("manager_cluster_profit", "cluster", strconv.Itoa(k))))
+	}
+	return t
+}
+
+func (t *mgrTel) start(name string) telemetry.Span {
+	if t == nil {
+		return telemetry.Span{}
+	}
+	return t.set.Start(name)
 }
 
 // Manager is the paper's central resource manager: it owns the client
@@ -51,6 +96,7 @@ type Manager struct {
 	scen   *model.Scenario
 	agents []Agent
 	cfg    ManagerConfig
+	tel    *mgrTel
 }
 
 // NewManager wires a manager to its cluster agents. Exactly one agent per
@@ -74,7 +120,12 @@ func NewManager(scen *model.Scenario, agents []Agent, cfg ManagerConfig) (*Manag
 	if cfg.NumInitSolutions <= 0 || cfg.MaxImproveRounds < 0 || cfg.Tolerance < 0 {
 		return nil, fmt.Errorf("cluster: invalid config %+v", cfg)
 	}
-	return &Manager{scen: scen, agents: agents, cfg: cfg}, nil
+	return &Manager{
+		scen:   scen,
+		agents: agents,
+		cfg:    cfg,
+		tel:    newMgrTel(cfg.Telemetry, scen.Cloud.NumClusters()),
+	}, nil
 }
 
 // Solve runs the distributed heuristic and merges the agents' final
@@ -82,7 +133,14 @@ func NewManager(scen *model.Scenario, agents []Agent, cfg ManagerConfig) (*Manag
 func (m *Manager) Solve() (*alloc.Allocation, ManagerStats, error) {
 	start := time.Now()
 	rng := rand.New(rand.NewSource(m.cfg.Seed))
+	sp := m.tel.start("manager.solve")
+	sp.Attr("clients", m.scen.NumClients())
+	sp.Attr("clusters", len(m.agents))
+	if m.tel != nil {
+		m.tel.solves.Inc()
+	}
 
+	isp := m.tel.start("manager.initial_pass")
 	var (
 		bestAssign map[model.ClientID]assignment
 		bestProfit float64
@@ -102,15 +160,31 @@ func (m *Manager) Solve() (*alloc.Allocation, ManagerStats, error) {
 	if err := m.load(bestAssign); err != nil {
 		return nil, ManagerStats{}, err
 	}
-	stats := ManagerStats{InitialProfit: bestProfit}
+	stats := ManagerStats{InitialProfit: bestProfit, InitElapsed: time.Since(start)}
+	if m.tel != nil {
+		m.tel.initDur.Observe(stats.InitElapsed.Seconds())
+		isp.Attr("initial_profit", bestProfit)
+	}
+	isp.End()
 
 	prev := bestProfit
 	for round := 0; round < m.cfg.MaxImproveRounds; round++ {
 		stats.ImproveRounds = round + 1
+		rsp := m.tel.start("manager.improve_round")
+		t0 := time.Now()
 		total, err := m.improveRound(&stats)
 		if err != nil {
 			return nil, ManagerStats{}, err
 		}
+		roundDur := time.Since(t0)
+		stats.RoundDurations = append(stats.RoundDurations, roundDur)
+		if m.tel != nil {
+			m.tel.roundDur.Observe(roundDur.Seconds())
+			rsp.Attr("round", round+1)
+			rsp.Attr("profit", total)
+			rsp.Attr("delta", total-prev)
+		}
+		rsp.End()
 		if total-prev <= m.cfg.Tolerance*(1+abs(prev)) {
 			prev = total
 			break
@@ -125,6 +199,11 @@ func (m *Manager) Solve() (*alloc.Allocation, ManagerStats, error) {
 	}
 	stats.Unplaced = m.scen.NumClients() - merged.NumAssigned()
 	stats.Elapsed = time.Since(start)
+	if m.tel != nil {
+		sp.Attr("final_profit", stats.FinalProfit)
+		sp.Attr("rounds", stats.ImproveRounds)
+	}
+	sp.End()
 	return merged, stats, nil
 }
 
@@ -239,10 +318,13 @@ func (m *Manager) improveRound(stats *ManagerStats) (float64, error) {
 		return 0, fmt.Errorf("cluster: improve round: %w", err)
 	}
 	var total float64
-	for _, r := range results {
+	for k, r := range results {
 		total += r.Profit
 		stats.Activations += r.Activations
 		stats.Deactivations += r.Deactivations
+		if m.tel != nil {
+			m.tel.clusterProfit[k].Set(r.Profit)
+		}
 	}
 	return total, nil
 }

@@ -6,7 +6,11 @@
 // TurnON_servers and TurnOFF_servers until the profit is steady.
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/telemetry"
+)
 
 // Config tunes the Resource_Alloc heuristic. Use DefaultConfig as the
 // starting point.
@@ -46,6 +50,12 @@ type Config struct {
 	DisableDispersionAdjust bool
 	DisableTurnOn           bool
 	DisableTurnOff          bool
+
+	// Telemetry, when non-nil, instruments the solver: per-phase spans
+	// and timing histograms, move-acceptance counters and profit-delta
+	// gauges (DESIGN.md §8). Nil (the default) disables all of it; the
+	// disabled path costs only nil checks.
+	Telemetry *telemetry.Set
 }
 
 // DefaultConfig returns the paper's settings.

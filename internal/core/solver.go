@@ -16,6 +16,7 @@ type Solver struct {
 	scen   *model.Scenario
 	cfg    Config
 	prices shadowPrices
+	tel    *solverTel // nil when telemetry is disabled
 }
 
 // Stats reports what the solver did.
@@ -46,6 +47,7 @@ func NewSolver(scen *model.Scenario, cfg Config) (*Solver, error) {
 		scen:   scen,
 		cfg:    cfg,
 		prices: calibratePrices(scen, cfg.ShadowPriceScale),
+		tel:    newSolverTel(cfg.Telemetry),
 	}, nil
 }
 
@@ -57,7 +59,14 @@ func (s *Solver) Scenario() *model.Scenario { return s.scen }
 func (s *Solver) Solve() (*alloc.Allocation, Stats, error) {
 	start := time.Now()
 	rng := rand.New(rand.NewSource(s.cfg.Seed))
+	sp := s.tel.start("solver.solve")
+	sp.Attr("clients", s.scen.NumClients())
+	sp.Attr("clusters", s.scen.Cloud.NumClusters())
+	if s.tel != nil {
+		s.tel.solves.Inc()
+	}
 
+	gsp := s.tel.start("solver.greedy")
 	var (
 		best       *alloc.Allocation
 		bestProfit float64
@@ -71,12 +80,24 @@ func (s *Solver) Solve() (*alloc.Allocation, Stats, error) {
 			best, bestProfit = a, p
 		}
 	}
+	if s.tel != nil {
+		s.tel.greedyDur.ObserveSince(start)
+		gsp.Attr("initial_profit", bestProfit)
+		gsp.Attr("starts", s.cfg.NumInitSolutions)
+	}
+	gsp.End()
 
 	stats := Stats{InitialProfit: bestProfit}
 	s.ImproveLocal(best, &stats)
 	stats.FinalProfit = best.Profit()
 	stats.Unplaced = s.scen.NumClients() - best.NumAssigned()
 	stats.Elapsed = time.Since(start)
+	if s.tel != nil {
+		s.tel.unplacedClients.Set(float64(stats.Unplaced))
+		sp.Attr("final_profit", stats.FinalProfit)
+		sp.Attr("rounds", stats.LocalSearchIters)
+	}
+	sp.End()
 	return best, stats, nil
 }
 
@@ -86,6 +107,9 @@ func (s *Solver) Solve() (*alloc.Allocation, Stats, error) {
 // assumes a feasible instance; we degrade gracefully).
 func (s *Solver) InitialSolution(rng *rand.Rand) (*alloc.Allocation, error) {
 	a := alloc.New(s.scen)
+	if s.tel != nil {
+		a.Instrument(s.tel.set)
+	}
 	order := rng.Perm(s.scen.NumClients())
 	for _, ci := range order {
 		i := model.ClientID(ci)
@@ -178,13 +202,36 @@ func (s *Solver) ImproveLocal(a *alloc.Allocation, stats *Stats) {
 	prev := a.Profit()
 	for iter := 0; iter < s.cfg.MaxLocalSearchIters; iter++ {
 		stats.LocalSearchIters = iter + 1
+		rsp := s.tel.start("solver.round")
+		var t0 time.Time
+		if s.tel != nil {
+			t0 = time.Now()
+			s.tel.rounds.Inc()
+			rsp.Attr("round", iter+1)
+		}
 		s.improvePass(a, stats)
 		if !s.cfg.DisableReassign {
 			// Cloud-level client reassignment is a central-manager move and
 			// runs between the parallel per-cluster sweeps.
-			stats.Reassignments += s.ReassignmentPass(a)
+			if s.tel != nil {
+				tr := time.Now()
+				before := a.Profit()
+				moved := s.ReassignmentPass(a)
+				stats.Reassignments += moved
+				s.tel.reassignDur.ObserveSince(tr)
+				s.tel.reassignments.Add(int64(moved))
+				s.tel.reassignDelta.Add(a.Profit() - before)
+			} else {
+				stats.Reassignments += s.ReassignmentPass(a)
+			}
 		}
 		p := a.Profit()
+		if s.tel != nil {
+			s.tel.roundDur.ObserveSince(t0)
+			rsp.Attr("profit", p)
+			rsp.Attr("delta", p-prev)
+		}
+		rsp.End()
 		if p-prev <= s.cfg.Tolerance*(1+absf(prev)) {
 			break
 		}
@@ -205,6 +252,10 @@ func (s *Solver) improvePass(a *alloc.Allocation, stats *Stats) {
 	deacts := make([]int, numK)
 	run := func(k int) {
 		kid := model.ClusterID(k)
+		if s.tel != nil {
+			acts[k], deacts[k] = s.clusterPassInstrumented(a, kid, members[k])
+			return
+		}
 		if !s.cfg.DisableShareAdjust {
 			for _, j := range s.scen.Cloud.ClusterServers(kid) {
 				s.AdjustResourceShares(a, j)

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/alloc"
+	"repro/internal/model"
+	"repro/internal/telemetry"
+)
+
+// Phase labels used by the solver's metrics and spans.
+const (
+	phaseGreedy     = "greedy"
+	phaseShare      = "share_adjust"
+	phaseDispersion = "dispersion_adjust"
+	phaseTurnOn     = "turn_on"
+	phaseTurnOff    = "turn_off"
+	phaseReassign   = "reassign"
+)
+
+// solverTel bundles the solver's pre-resolved metric handles so the hot
+// path never performs registry lookups. A nil *solverTel is the
+// disabled state: callers guard with `s.tel != nil` (spans/timing) or
+// rely on the handles' own nil-safety (counters).
+type solverTel struct {
+	set *telemetry.Set
+
+	solves *telemetry.Counter
+	rounds *telemetry.Counter
+
+	greedyDur     *telemetry.Histogram
+	roundDur      *telemetry.Histogram
+	shareDur      *telemetry.Histogram
+	dispersionDur *telemetry.Histogram
+	turnOnDur     *telemetry.Histogram
+	turnOffDur    *telemetry.Histogram
+	reassignDur   *telemetry.Histogram
+
+	shareMoves      *telemetry.Counter
+	shareAccepts    *telemetry.Counter
+	dispMoves       *telemetry.Counter
+	dispAccepts     *telemetry.Counter
+	activations     *telemetry.Counter
+	deactivations   *telemetry.Counter
+	reassignments   *telemetry.Counter
+	unplacedClients *telemetry.Gauge
+
+	shareDelta    *telemetry.Gauge
+	dispDelta     *telemetry.Gauge
+	turnOnDelta   *telemetry.Gauge
+	turnOffDelta  *telemetry.Gauge
+	reassignDelta *telemetry.Gauge
+}
+
+// newSolverTel resolves every handle once; nil in, nil out.
+func newSolverTel(set *telemetry.Set) *solverTel {
+	if set == nil {
+		return nil
+	}
+	set.Metrics.Help("solver_phase_seconds", "time spent in each Resource_Alloc phase")
+	set.Metrics.Help("solver_moves_total", "local-search moves attempted per phase")
+	set.Metrics.Help("solver_moves_accepted_total", "local-search moves accepted per phase")
+	set.Metrics.Help("solver_profit_delta_total", "cumulative profit change contributed per phase")
+	phaseDur := func(phase string) *telemetry.Histogram {
+		return set.Histogram(telemetry.Name("solver_phase_seconds", "phase", phase), telemetry.DurationBuckets)
+	}
+	phaseDelta := func(phase string) *telemetry.Gauge {
+		return set.Gauge(telemetry.Name("solver_profit_delta_total", "phase", phase))
+	}
+	return &solverTel{
+		set:    set,
+		solves: set.Counter("solver_solves_total"),
+		rounds: set.Counter("solver_local_search_rounds_total"),
+
+		greedyDur:     phaseDur(phaseGreedy),
+		roundDur:      set.Histogram("solver_round_seconds", telemetry.DurationBuckets),
+		shareDur:      phaseDur(phaseShare),
+		dispersionDur: phaseDur(phaseDispersion),
+		turnOnDur:     phaseDur(phaseTurnOn),
+		turnOffDur:    phaseDur(phaseTurnOff),
+		reassignDur:   phaseDur(phaseReassign),
+
+		shareMoves:      set.Counter(telemetry.Name("solver_moves_total", "phase", phaseShare)),
+		shareAccepts:    set.Counter(telemetry.Name("solver_moves_accepted_total", "phase", phaseShare)),
+		dispMoves:       set.Counter(telemetry.Name("solver_moves_total", "phase", phaseDispersion)),
+		dispAccepts:     set.Counter(telemetry.Name("solver_moves_accepted_total", "phase", phaseDispersion)),
+		activations:     set.Counter("solver_activations_total"),
+		deactivations:   set.Counter("solver_deactivations_total"),
+		reassignments:   set.Counter("solver_reassignments_total"),
+		unplacedClients: set.Gauge("solver_unplaced_clients"),
+
+		shareDelta:    phaseDelta(phaseShare),
+		dispDelta:     phaseDelta(phaseDispersion),
+		turnOnDelta:   phaseDelta(phaseTurnOn),
+		turnOffDelta:  phaseDelta(phaseTurnOff),
+		reassignDelta: phaseDelta(phaseReassign),
+	}
+}
+
+// start opens a span on the underlying tracer; inert when disabled.
+func (t *solverTel) start(name string) telemetry.Span {
+	if t == nil {
+		return telemetry.Span{}
+	}
+	return t.set.Start(name)
+}
+
+// clusterPassInstrumented is the telemetry-enabled twin of the inline
+// cluster sweep in improvePass: identical moves, plus per-phase timing,
+// move-acceptance counters and profit-delta gauges. It reads profit only
+// through ClusterProfit(k), so it stays safe under the solver's
+// per-cluster parallelism.
+func (s *Solver) clusterPassInstrumented(a *alloc.Allocation, kid model.ClusterID, members []model.ClientID) (acts, deacts int) {
+	tel := s.tel
+	if !s.cfg.DisableShareAdjust {
+		t0 := time.Now()
+		before := a.ClusterProfit(kid)
+		var accepted int64
+		servers := s.scen.Cloud.ClusterServers(kid)
+		for _, j := range servers {
+			if s.AdjustResourceShares(a, j) {
+				accepted++
+			}
+		}
+		tel.shareDur.ObserveSince(t0)
+		tel.shareMoves.Add(int64(len(servers)))
+		tel.shareAccepts.Add(accepted)
+		tel.shareDelta.Add(a.ClusterProfit(kid) - before)
+	}
+	if !s.cfg.DisableDispersionAdjust {
+		t0 := time.Now()
+		before := a.ClusterProfit(kid)
+		var accepted int64
+		for _, id := range members {
+			if s.AdjustDispersionRates(a, id) {
+				accepted++
+			}
+		}
+		tel.dispersionDur.ObserveSince(t0)
+		tel.dispMoves.Add(int64(len(members)))
+		tel.dispAccepts.Add(accepted)
+		tel.dispDelta.Add(a.ClusterProfit(kid) - before)
+	}
+	if !s.cfg.DisableTurnOn {
+		t0 := time.Now()
+		before := a.ClusterProfit(kid)
+		acts = s.turnOnServers(a, kid, members)
+		tel.turnOnDur.ObserveSince(t0)
+		tel.activations.Add(int64(acts))
+		tel.turnOnDelta.Add(a.ClusterProfit(kid) - before)
+	}
+	if !s.cfg.DisableTurnOff {
+		t0 := time.Now()
+		before := a.ClusterProfit(kid)
+		deacts = s.turnOffServers(a, kid)
+		tel.turnOffDur.ObserveSince(t0)
+		tel.deactivations.Add(int64(deacts))
+		tel.turnOffDelta.Add(a.ClusterProfit(kid) - before)
+	}
+	return acts, deacts
+}

@@ -31,6 +31,9 @@ func (s *Solver) SolveFrom(prev *alloc.Allocation) (*alloc.Allocation, Stats, er
 	}
 
 	a := alloc.New(s.scen)
+	if s.tel != nil {
+		a.Instrument(s.tel.set)
+	}
 	var displaced []model.ClientID
 	for i := 0; i < s.scen.NumClients(); i++ {
 		id := model.ClientID(i)

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/model"
+	"repro/internal/telemetry"
 )
 
 // Dispatcher routes requests of a single client across its portions.
@@ -21,6 +22,7 @@ type Dispatcher struct {
 	cum     []float64 // cumulative α
 	counts  []int64
 	total   int64
+	routed  *telemetry.Counter
 }
 
 // New builds a dispatcher from a client's portions. The dispersion rates
@@ -51,8 +53,14 @@ func New(portions []alloc.Portion) (*Dispatcher, error) {
 	return d, nil
 }
 
+// Instrument attaches a telemetry counter incremented once per routed
+// request. Counters are shareable, so many dispatchers (one per client)
+// can feed the same cloud-wide counter; nil detaches.
+func (d *Dispatcher) Instrument(c *telemetry.Counter) { d.routed = c }
+
 // Route picks a portion index for the next request.
 func (d *Dispatcher) Route(rng *rand.Rand) int {
+	d.routed.Inc() // nil-safe no-op when uninstrumented
 	u := rng.Float64()
 	// Portions are few (≤ number of servers a client spans); linear scan
 	// beats binary search at this size.

@@ -9,7 +9,32 @@ import (
 	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/predict"
+	"repro/internal/telemetry"
 )
+
+// ctlTel holds the controller's pre-resolved metric handles; nil
+// disables instrumentation.
+type ctlTel struct {
+	set      *telemetry.Set
+	resolves *telemetry.Counter
+	skips    *telemetry.Counter
+	drift    *telemetry.Gauge
+	solveDur *telemetry.Histogram
+}
+
+func newCtlTel(set *telemetry.Set) *ctlTel {
+	if set == nil {
+		return nil
+	}
+	set.Metrics.Help("epoch_drift_max_rel", "largest relative per-client rate drift vs the standing decision, this epoch")
+	return &ctlTel{
+		set:      set,
+		resolves: set.Counter("epoch_resolves_total"),
+		skips:    set.Counter("epoch_skips_total"),
+		drift:    set.Gauge("epoch_drift_max_rel"),
+		solveDur: set.Histogram("epoch_solve_seconds", telemetry.DurationBuckets),
+	}
+}
 
 // Policy decides whether the drift since the last decision warrants a new
 // cloud-level allocation (paper Section III: "some small changes … can be
@@ -89,6 +114,10 @@ type ControllerConfig struct {
 	// The policy also sees the forecast, mirroring a real deployment where
 	// the actual rates are only known in hindsight.
 	Predictor predict.Predictor
+	// Telemetry, when non-nil, records drift magnitudes, resolve/skip
+	// decisions, solve latency and per-epoch spans. It is also handed to
+	// the solver unless Solver.Telemetry is already set.
+	Telemetry *telemetry.Set
 }
 
 // DefaultControllerConfig re-decides on >20% drift with warm starts.
@@ -107,6 +136,32 @@ type Step struct {
 	RealizedProfit   float64
 	SaturatedClients int
 	SolveTime        time.Duration
+	// Drift is the largest relative per-client rate change versus the
+	// standing decision (0 on the first epoch, when there is none).
+	Drift float64
+}
+
+// maxRelDrift returns the largest |current-base|/base over clients; a
+// non-positive base counts as unbounded drift (reported as 1).
+func maxRelDrift(base, current []float64) float64 {
+	var max float64
+	for i := range current {
+		b := base[i]
+		if b <= 0 {
+			if current[i] > 0 && max < 1 {
+				max = 1
+			}
+			continue
+		}
+		d := (current[i] - b) / b
+		if d < 0 {
+			d = -d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return max
 }
 
 // ControllerSummary aggregates a run.
@@ -133,6 +188,11 @@ func RunController(scen *model.Scenario, tr Trace, cfg ControllerConfig) (Contro
 		return ControllerSummary{}, err
 	}
 
+	tel := newCtlTel(cfg.Telemetry)
+	if cfg.Telemetry != nil && cfg.Solver.Telemetry == nil {
+		cfg.Solver.Telemetry = cfg.Telemetry
+	}
+
 	cur := CloneScenario(scen)
 	var (
 		summary      ControllerSummary
@@ -153,6 +213,15 @@ func RunController(scen *model.Scenario, tr Trace, cfg ControllerConfig) (Contro
 			cur.Clients[i].PredictedRate = forecast[i]
 		}
 		step := Step{Epoch: e}
+		if current != nil {
+			step.Drift = maxRelDrift(lastDecision, forecast)
+		}
+		var sp telemetry.Span
+		if tel != nil {
+			sp = tel.set.Start("epoch.step")
+			sp.Attr("epoch", e)
+			tel.drift.Set(step.Drift)
+		}
 		if current == nil || cfg.Policy.ShouldResolve(lastDecision, forecast) {
 			solver, err := core.NewSolver(cur, cfg.Solver)
 			if err != nil {
@@ -178,6 +247,18 @@ func RunController(scen *model.Scenario, tr Trace, cfg ControllerConfig) (Contro
 		step.RealizedProfit, step.SaturatedClients = Realize(cur, current)
 		summary.TotalProfit += step.RealizedProfit
 		summary.Steps = append(summary.Steps, step)
+		if tel != nil {
+			if step.Resolved {
+				tel.resolves.Inc()
+				tel.solveDur.Observe(step.SolveTime.Seconds())
+			} else {
+				tel.skips.Inc()
+			}
+			sp.Attr("drift", step.Drift)
+			sp.Attr("resolved", step.Resolved)
+			sp.Attr("profit", step.RealizedProfit)
+			sp.End()
+		}
 		if cfg.Predictor != nil {
 			if err := cfg.Predictor.Observe(rates); err != nil {
 				return ControllerSummary{}, fmt.Errorf("epoch: predictor: %w", err)

@@ -33,6 +33,9 @@ type event struct {
 type request struct {
 	client    int
 	arrivedAt float64
+	// procDoneAt is when processing finished (start of the communication
+	// stage wait); used by telemetry to measure comm queueing delay.
+	procDoneAt float64
 }
 
 // eventHeap is a min-heap on event time.

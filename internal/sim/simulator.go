@@ -10,7 +10,41 @@ import (
 	"repro/internal/dispatch"
 	"repro/internal/model"
 	"repro/internal/queueing"
+	"repro/internal/telemetry"
 )
+
+// simTel holds the simulator's pre-resolved metric handles; nil
+// disables instrumentation. All values are in simulated time units.
+type simTel struct {
+	procDelay  *telemetry.Histogram
+	commDelay  *telemetry.Histogram
+	response   *telemetry.Histogram
+	slaViols   *telemetry.Counter
+	completed  *telemetry.Counter
+	dispatched *telemetry.Counter
+	breakEven  []float64 // per client: response beyond which utility < 0
+}
+
+func newSimTel(set *telemetry.Set, scen *model.Scenario) *simTel {
+	if set == nil {
+		return nil
+	}
+	set.Metrics.Help("sim_queue_delay", "request queueing delay per tandem stage, simulated time units")
+	set.Metrics.Help("sim_sla_violations_total", "completed requests whose response time exceeded the client's break-even SLA response")
+	t := &simTel{
+		procDelay:  set.Histogram(telemetry.Name("sim_queue_delay", "stage", "proc"), telemetry.DurationBuckets),
+		commDelay:  set.Histogram(telemetry.Name("sim_queue_delay", "stage", "comm"), telemetry.DurationBuckets),
+		response:   set.Histogram("sim_response", telemetry.DurationBuckets),
+		slaViols:   set.Counter("sim_sla_violations_total"),
+		completed:  set.Counter("sim_requests_completed_total"),
+		dispatched: set.Counter("sim_requests_dispatched_total"),
+		breakEven:  make([]float64, scen.NumClients()),
+	}
+	for i := range scen.Clients {
+		t.breakEven[i] = scen.Utility(model.ClientID(i)).BreakEvenResponse()
+	}
+	return t
+}
 
 // Config controls a simulation run.
 type Config struct {
@@ -23,6 +57,9 @@ type Config struct {
 	// UseAgreedRate simulates the agreed contract arrival rates instead of
 	// the predicted rates the allocator provisioned for.
 	UseAgreedRate bool
+	// Telemetry, when non-nil, records queueing delays, response times,
+	// SLA violations and dispatch counts during the run.
+	Telemetry *telemetry.Set
 }
 
 // DefaultConfig simulates 5000 time units with a 10% warmup.
@@ -74,6 +111,7 @@ func Simulate(a *alloc.Allocation, cfg Config) (*Result, error) {
 	}
 	scen := a.Scenario()
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	tel := newSimTel(cfg.Telemetry, scen)
 
 	// Build one tandem queue pair per portion, and per-client dispatchers.
 	var (
@@ -98,6 +136,9 @@ func Simulate(a *alloc.Allocation, cfg Config) (*Result, error) {
 			return nil, fmt.Errorf("sim: client %d: %w", i, err)
 		}
 		dispatchers[i] = d
+		if tel != nil {
+			d.Instrument(tel.dispatched)
+		}
 		for pi, p := range ps {
 			class := scen.Cloud.ServerClass(p.Server)
 			queueIndex[[2]int{i, pi}] = len(queues)
@@ -144,6 +185,9 @@ func Simulate(a *alloc.Allocation, cfg Config) (*Result, error) {
 			q := queues[queueIndex[[2]int{i, pi}]]
 			req := &request{client: i, arrivedAt: e.at}
 			if startService(&q.proc, e.at) {
+				if tel != nil && e.at >= cfg.Warmup {
+					tel.procDelay.Observe(0)
+				}
 				heap.Push(&h, event{at: e.at + expDraw(q.proc.rate), kind: evProcDone,
 					queue: queueIndex[[2]int{i, pi}], req: req})
 			} else {
@@ -152,9 +196,16 @@ func Simulate(a *alloc.Allocation, cfg Config) (*Result, error) {
 		case evProcDone:
 			q := queues[e.queue]
 			if next := finishService(&q.proc, e.at); next != nil {
+				if tel != nil && next.arrivedAt >= cfg.Warmup {
+					tel.procDelay.Observe(e.at - next.arrivedAt)
+				}
 				heap.Push(&h, event{at: e.at + expDraw(q.proc.rate), kind: evProcDone, queue: e.queue, req: next})
 			}
+			e.req.procDoneAt = e.at
 			if startService(&q.comm, e.at) {
+				if tel != nil && e.req.arrivedAt >= cfg.Warmup {
+					tel.commDelay.Observe(0)
+				}
 				heap.Push(&h, event{at: e.at + expDraw(q.comm.rate), kind: evCommDone, queue: e.queue, req: e.req})
 			} else {
 				q.comm.waiting = append(q.comm.waiting, e.req)
@@ -162,6 +213,9 @@ func Simulate(a *alloc.Allocation, cfg Config) (*Result, error) {
 		case evCommDone:
 			q := queues[e.queue]
 			if next := finishService(&q.comm, e.at); next != nil {
+				if tel != nil && next.arrivedAt >= cfg.Warmup {
+					tel.commDelay.Observe(e.at - next.procDoneAt)
+				}
 				heap.Push(&h, event{at: e.at + expDraw(q.comm.rate), kind: evCommDone, queue: e.queue, req: next})
 			}
 			if e.req.arrivedAt >= cfg.Warmup {
@@ -169,6 +223,13 @@ func Simulate(a *alloc.Allocation, cfg Config) (*Result, error) {
 				respSum[e.req.client] += resp
 				respCnt[e.req.client]++
 				reservoirs[e.req.client].add(rng, resp)
+				if tel != nil {
+					tel.response.Observe(resp)
+					tel.completed.Inc()
+					if resp > tel.breakEven[e.req.client] {
+						tel.slaViols.Inc()
+					}
+				}
 			}
 		}
 	}

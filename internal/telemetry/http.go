@@ -1,0 +1,65 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// Handler builds the debug HTTP surface for a Set:
+//
+//	/metrics      — Prometheus text exposition of the registry
+//	/debug/vars   — expvar JSON (includes the registry when published)
+//	/debug/trace  — the tracer's recent spans as JSON, newest last;
+//	                ?n=K limits the reply to the last K spans
+//	/debug/pprof/ — the standard net/http/pprof profiles
+//
+// The same mux is what allocd serves on -debug-addr.
+func Handler(s *Set) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if s != nil {
+			s.Metrics.WritePrometheus(w)
+		}
+	})
+	if s != nil {
+		// Best effort: a second registry reusing the name keeps the
+		// process-global expvar page; its own /metrics is unaffected.
+		_ = s.Metrics.PublishExpvar("cloudalloc")
+	}
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		var spans []SpanRecord
+		if s != nil {
+			spans = s.Tracer.Snapshot()
+		}
+		if nStr := r.URL.Query().Get("n"); nStr != "" {
+			if n, err := strconv.Atoi(nStr); err == nil && n >= 0 && n < len(spans) {
+				spans = spans[len(spans)-n:]
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			Total uint64       `json:"total_spans"`
+			Spans []SpanRecord `json:"spans"`
+		}{Total: s.traceTotal(), Spans: spans})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func (s *Set) traceTotal() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.Tracer.Total()
+}

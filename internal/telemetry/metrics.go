@@ -1,0 +1,451 @@
+// Package telemetry is the repo's zero-dependency observability layer:
+// a concurrent metrics registry (counters, gauges, fixed-bucket
+// histograms) exposable in Prometheus text format and as expvar, a
+// lightweight span tracer backed by a ring buffer, structured logging
+// via log/slog, and an HTTP debug surface (/metrics, /debug/vars,
+// /debug/trace, /debug/pprof).
+//
+// Everything is nil-safe: a nil *Set, *Counter, *Gauge, *Histogram or
+// *Tracer turns every operation into an allocation-free no-op, so
+// instrumented components pay only a nil check when telemetry is
+// disabled (the default). See DESIGN.md §8.
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing integer metric. The zero value
+// is ready to use; all methods are safe on a nil receiver.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (negative n is ignored).
+func (c *Counter) Add(n int64) {
+	if c == nil || n < 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 metric that can go up and down. The zero value is
+// ready to use; all methods are safe on a nil receiver.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add folds a delta into the gauge with a CAS loop.
+func (g *Gauge) Add(dv float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + dv)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets, Prometheus-style:
+// bucket i counts observations ≤ upper[i], with an implicit +Inf bucket
+// at the end. All hot-path operations are atomic; methods are safe on a
+// nil receiver.
+type Histogram struct {
+	upper   []float64
+	counts  []atomic.Int64 // len(upper)+1, last is +Inf
+	sumBits atomic.Uint64
+	count   atomic.Int64
+}
+
+// DurationBuckets spans 100µs to 10s — solver phases, RPC round trips
+// and improvement rounds all land inside it.
+var DurationBuckets = []float64{
+	.0001, .00025, .0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10,
+}
+
+// SizeBuckets spans 64B to 4MB for message-size metrics.
+var SizeBuckets = []float64{64, 256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304}
+
+func newHistogram(upper []float64) *Histogram {
+	u := append([]float64(nil), upper...)
+	sort.Float64s(u)
+	return &Histogram{upper: u, counts: make([]atomic.Int64, len(u)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Buckets are few and the slice is sorted; linear scan is branch-
+	// predictable and beats binary search at this size.
+	idx := len(h.upper)
+	for i, ub := range h.upper {
+		if v <= ub {
+			idx = i
+			break
+		}
+	}
+	h.counts[idx].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since t0.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(time.Since(t0).Seconds())
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Mean returns the average observation (0 before any).
+func (h *Histogram) Mean() float64 {
+	if n := h.Count(); n > 0 {
+		return h.Sum() / float64(n)
+	}
+	return 0
+}
+
+// Registry holds named metrics. Metric handles are created once
+// (get-or-create) and then operated on lock-free; the registry lock is
+// only taken on (rare) creation and on export.
+type Registry struct {
+	mu        sync.RWMutex
+	counters  map[string]*Counter
+	gauges    map[string]*Gauge
+	hists     map[string]*Histogram
+	helps     map[string]string // keyed by family (name sans labels)
+	published bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		helps:    make(map[string]string),
+	}
+}
+
+// Name formats a metric name with label pairs, deterministically:
+// Name("rpc_calls_total", "op", "evaluate") → rpc_calls_total{op="evaluate"}.
+// Pairs must come in key, value order; odd trailing keys are dropped.
+func Name(base string, kv ...string) string {
+	if len(kv) < 2 {
+		return base
+	}
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", kv[i], kv[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// splitName separates a full metric name into its family and the label
+// body (without braces); labels are empty when the name has none.
+func splitName(name string) (family, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}
+
+// Help registers a description for a metric family, shown as the
+// Prometheus # HELP line.
+func (r *Registry) Help(family, help string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.helps[family] = help
+	r.mu.Unlock()
+}
+
+// Counter returns the counter with the given full name (create on first
+// use). Nil-safe: a nil registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge with the given full name (create on first use).
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram with the given full name, creating it
+// with the given bucket upper bounds on first use (later calls reuse the
+// original buckets).
+func (r *Registry) Histogram(name string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		if len(buckets) == 0 {
+			buckets = DurationBuckets
+		}
+		h = newHistogram(buckets)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// row is one exportable sample.
+type row struct {
+	family string
+	labels string
+	kind   string // counter, gauge, histogram
+	text   func(w io.Writer, full string)
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format, families sorted by name, with # HELP/# TYPE headers.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.RLock()
+	rows := make([]row, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for name, c := range r.counters {
+		fam, lab := splitName(name)
+		v := c.Value()
+		rows = append(rows, row{family: fam, labels: lab, kind: "counter",
+			text: func(w io.Writer, full string) { fmt.Fprintf(w, "%s %d\n", full, v) }})
+	}
+	for name, g := range r.gauges {
+		fam, lab := splitName(name)
+		v := g.Value()
+		rows = append(rows, row{family: fam, labels: lab, kind: "gauge",
+			text: func(w io.Writer, full string) { fmt.Fprintf(w, "%s %s\n", full, formatFloat(v)) }})
+	}
+	for name, h := range r.hists {
+		fam, lab := splitName(name)
+		h := h
+		rows = append(rows, row{family: fam, labels: lab, kind: "histogram",
+			text: func(w io.Writer, full string) { writeHistogram(w, fam, lab, h) }})
+	}
+	helps := make(map[string]string, len(r.helps))
+	for k, v := range r.helps {
+		helps[k] = v
+	}
+	r.mu.RUnlock()
+
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].family != rows[j].family {
+			return rows[i].family < rows[j].family
+		}
+		return rows[i].labels < rows[j].labels
+	})
+	lastFam := ""
+	for _, rw := range rows {
+		if rw.family != lastFam {
+			if help := helps[rw.family]; help != "" {
+				fmt.Fprintf(w, "# HELP %s %s\n", rw.family, help)
+			}
+			fmt.Fprintf(w, "# TYPE %s %s\n", rw.family, rw.kind)
+			lastFam = rw.family
+		}
+		full := rw.family
+		if rw.labels != "" {
+			full += "{" + rw.labels + "}"
+		}
+		rw.text(w, full)
+	}
+}
+
+// writeHistogram renders one histogram family member: cumulative
+// _bucket series (the le label merged into any existing labels), then
+// _sum and _count.
+func writeHistogram(w io.Writer, family, labels string, h *Histogram) {
+	cum := int64(0)
+	for i, ub := range h.upper {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", family, labelPrefix(labels), formatFloat(ub), cum)
+	}
+	cum += h.counts[len(h.upper)].Load()
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", family, labelPrefix(labels), cum)
+	brace := ""
+	if labels != "" {
+		brace = "{" + labels + "}"
+	}
+	fmt.Fprintf(w, "%s_sum%s %s\n", family, brace, formatFloat(h.Sum()))
+	fmt.Fprintf(w, "%s_count%s %d\n", family, brace, h.Count())
+}
+
+func labelPrefix(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return labels + ","
+}
+
+func formatFloat(v float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.9f", v), "0"), ".")
+}
+
+// String renders the registry as a JSON object of name → value
+// (histograms export {count, sum}), which makes *Registry an expvar.Var.
+func (r *Registry) String() string {
+	if r == nil {
+		return "{}"
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%q:", n)
+		switch {
+		case r.counters[n] != nil:
+			fmt.Fprintf(&b, "%d", r.counters[n].Value())
+		case r.gauges[n] != nil:
+			fmt.Fprintf(&b, "%g", r.gauges[n].Value())
+		default:
+			h := r.hists[n]
+			fmt.Fprintf(&b, `{"count":%d,"sum":%g}`, h.Count(), h.Sum())
+		}
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+var _ expvar.Var = (*Registry)(nil)
+
+// PublishExpvar publishes the registry under the given expvar name.
+// Safe to call more than once per registry; a second registry reusing a
+// taken name is an error (expvar panics on duplicates, which we avoid).
+func (r *Registry) PublishExpvar(name string) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.published {
+		return nil
+	}
+	if expvar.Get(name) != nil {
+		return fmt.Errorf("telemetry: expvar name %q already taken", name)
+	}
+	expvar.Publish(name, r)
+	r.published = true
+	return nil
+}

@@ -1,0 +1,122 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Attr is one key/value annotation on a span. Values are kept as any so
+// spans can carry counts, profits and peer addresses alike; they must be
+// JSON-encodable for /debug/trace.
+type Attr struct {
+	Key   string `json:"key"`
+	Value any    `json:"value"`
+}
+
+// SpanRecord is a finished span as stored in the tracer's ring buffer.
+type SpanRecord struct {
+	Name     string        `json:"name"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+	Attrs    []Attr        `json:"attrs,omitempty"`
+}
+
+// Tracer records finished spans into a fixed-size ring buffer: cheap,
+// bounded, and always holding the most recent activity. A nil *Tracer
+// is a valid disabled tracer: Start returns a zero Span whose methods
+// are allocation-free no-ops.
+type Tracer struct {
+	mu    sync.Mutex
+	buf   []SpanRecord
+	next  int
+	total uint64
+}
+
+// DefaultTraceCapacity bounds the ring buffer when none is given.
+const DefaultTraceCapacity = 4096
+
+// NewTracer builds a tracer retaining the last capacity spans
+// (DefaultTraceCapacity when capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{buf: make([]SpanRecord, 0, capacity)}
+}
+
+// Span is an in-flight operation. It is a value type so that starting a
+// span on a disabled tracer performs no allocation; call End exactly
+// once (deferred ends are fine).
+type Span struct {
+	tr    *Tracer
+	name  string
+	start time.Time
+	attrs []Attr
+}
+
+// Start opens a span. On a nil tracer it returns an inert zero Span and
+// does not read the clock.
+func (t *Tracer) Start(name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{tr: t, name: name, start: time.Now()}
+}
+
+// Attr annotates the span; a no-op on a disabled span.
+func (sp *Span) Attr(key string, value any) {
+	if sp.tr == nil {
+		return
+	}
+	sp.attrs = append(sp.attrs, Attr{Key: key, Value: value})
+}
+
+// End finishes the span and commits it to the ring buffer.
+func (sp *Span) End() {
+	if sp.tr == nil {
+		return
+	}
+	sp.tr.record(SpanRecord{
+		Name:     sp.name,
+		Start:    sp.start,
+		Duration: time.Since(sp.start),
+		Attrs:    sp.attrs,
+	})
+	sp.tr = nil
+}
+
+func (t *Tracer) record(r SpanRecord) {
+	t.mu.Lock()
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, r)
+	} else {
+		t.buf[t.next] = r
+		t.next = (t.next + 1) % cap(t.buf)
+	}
+	t.total++
+	t.mu.Unlock()
+}
+
+// Snapshot returns the retained spans, oldest first.
+func (t *Tracer) Snapshot() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, 0, len(t.buf))
+	out = append(out, t.buf[t.next:]...)
+	out = append(out, t.buf[:t.next]...)
+	return out
+}
+
+// Total returns the number of spans recorded over the tracer's lifetime,
+// including those already overwritten in the ring.
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}

@@ -1,0 +1,101 @@
+package telemetry
+
+import (
+	"context"
+	"io"
+	"log/slog"
+)
+
+// Set bundles the three observability facilities a component is handed:
+// metrics, tracing and structured logging. A nil *Set disables all
+// three at zero cost — every accessor below is safe on a nil receiver
+// and returns a nil (no-op) handle, so components resolve their metric
+// handles once at construction and the hot path pays only nil checks.
+type Set struct {
+	Metrics *Registry
+	Tracer  *Tracer
+	Log     *slog.Logger
+}
+
+// New builds a fully enabled Set: fresh registry, default-capacity
+// tracer, and the given logger (the no-op logger when nil).
+func New(log *slog.Logger) *Set {
+	return &Set{
+		Metrics: NewRegistry(),
+		Tracer:  NewTracer(0),
+		Log:     log,
+	}
+}
+
+// Counter resolves a counter handle (nil when disabled).
+func (s *Set) Counter(name string) *Counter {
+	if s == nil {
+		return nil
+	}
+	return s.Metrics.Counter(name)
+}
+
+// Gauge resolves a gauge handle (nil when disabled).
+func (s *Set) Gauge(name string) *Gauge {
+	if s == nil {
+		return nil
+	}
+	return s.Metrics.Gauge(name)
+}
+
+// Histogram resolves a histogram handle (nil when disabled).
+func (s *Set) Histogram(name string, buckets []float64) *Histogram {
+	if s == nil {
+		return nil
+	}
+	return s.Metrics.Histogram(name, buckets)
+}
+
+// Start opens a span on the set's tracer (inert on a disabled set).
+func (s *Set) Start(name string) Span {
+	if s == nil {
+		return Span{}
+	}
+	return s.Tracer.Start(name)
+}
+
+// Enabled reports whether the set records anything at all.
+func (s *Set) Enabled() bool { return s != nil }
+
+// Logger returns the set's logger, falling back to the no-op logger so
+// callers never nil-check before logging.
+func (s *Set) Logger() *slog.Logger {
+	if s == nil || s.Log == nil {
+		return NopLogger()
+	}
+	return s.Log
+}
+
+// discardHandler drops every record (log/slog gained a built-in discard
+// handler only after the module's Go floor).
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }
+
+var nopLogger = slog.New(discardHandler{})
+
+// NopLogger returns a logger that discards everything.
+func NopLogger() *slog.Logger { return nopLogger }
+
+// LoggerOr returns l, or the no-op logger when l is nil — the standard
+// way for a component to accept an optional injected logger.
+func LoggerOr(l *slog.Logger) *slog.Logger {
+	if l == nil {
+		return nopLogger
+	}
+	return l
+}
+
+// NewTextLogger builds a slog text logger writing to w at the given
+// level — what the cmds install behind their -debug / -v flags.
+func NewTextLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level}))
+}
