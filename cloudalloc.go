@@ -170,6 +170,13 @@ func WithParallel(on bool) Option {
 	return optionFunc(func(c *core.Config) { c.Parallel = on })
 }
 
+// WithWorkers sizes the reassignment pass's scoring worker pool: 0 (the
+// default) uses GOMAXPROCS, 1 scores sequentially. The committed moves
+// are identical for every worker count; only wall-clock time changes.
+func WithWorkers(n int) Option {
+	return optionFunc(func(c *core.Config) { c.Workers = n })
+}
+
 // WithLocalSearchBudget bounds the improvement loop.
 func WithLocalSearchBudget(iters int) Option {
 	return optionFunc(func(c *core.Config) { c.MaxLocalSearchIters = iters })

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments -run fig4|fig5|complexity|sim|ablation|all [-quick] [-seed 1]
+//	experiments -run fig4|fig5|complexity|sim|ablation|reassign|all [-quick] [-seed 1]
 //
 // -quick reduces scenario and Monte-Carlo draw counts for a fast run;
 // without it the sweep uses the paper's counts (≥20 scenarios per point,
@@ -29,7 +29,8 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		which     = fs.String("run", "all", "fig4, fig5, complexity, sim, ablation, comparators, epochs, predictors or all")
+		which     = fs.String("run", "all", "fig4, fig5, complexity, sim, ablation, comparators, epochs, predictors, reassign or all")
+		benchOut  = fs.String("bench-out", "BENCH_reassign.json", "output path for the reassign benchmark record (empty = don't write)")
 		quick     = fs.Bool("quick", false, "reduced scenario/draw counts")
 		seed      = fs.Int64("seed", 1, "base seed")
 		draws     = fs.Int("draws", 0, "override Monte-Carlo draws per scenario (0 = mode default)")
@@ -87,6 +88,8 @@ func run(args []string) error {
 		return runEpochs(*quick, *seed, tel)
 	case "predictors":
 		return runPredictors(*quick, *seed, tel)
+	case "reassign":
+		return runReassign(*quick, *seed, tel, *benchOut)
 	case "all":
 		fmt.Println(experiment.Fig4Table(sweepPoints))
 		fmt.Println(experiment.Fig4Chart(sweepPoints))
@@ -107,7 +110,10 @@ func run(args []string) error {
 		if err := runEpochs(*quick, *seed, tel); err != nil {
 			return err
 		}
-		return runPredictors(*quick, *seed, tel)
+		if err := runPredictors(*quick, *seed, tel); err != nil {
+			return err
+		}
+		return runReassign(*quick, *seed, tel, *benchOut)
 	default:
 		return fmt.Errorf("unknown experiment %q", *which)
 	}
@@ -217,6 +223,34 @@ func runEpochs(quick bool, seed int64, tel *telemetry.Set) error {
 	}
 	fmt.Println(experiment.EpochsTable(rows))
 	return nil
+}
+
+func runReassign(quick bool, seed int64, tel *telemetry.Set, out string) error {
+	cfg := experiment.DefaultReassignConfig()
+	cfg.BaseSeed = seed
+	cfg.Solver.Telemetry = tel
+	if quick {
+		cfg.ClientCounts = []int{50, 250}
+		cfg.Repeats = 2
+	}
+	rep, err := experiment.RunReassign(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiment.ReassignTable(rep))
+	if out == "" {
+		return nil
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := experiment.WriteReassignJSON(f, rep); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return f.Close()
 }
 
 func runPredictors(quick bool, seed int64, tel *telemetry.Set) error {

@@ -62,6 +62,14 @@ type Allocation struct {
 	serverDirty  []bool
 	ledgers      []clusterLedger
 
+	// clusterVer counts the mutations applied to each cluster: Assign and
+	// Unassign bump the touched cluster's counter, and a rolled-back
+	// transaction restores the counters it scoped (txn.go) so speculative
+	// experiments do not register as changes. The reassignment pass uses
+	// the counters to skip rescoring clients whose relevant clusters are
+	// untouched since the previous round.
+	clusterVer []uint64
+
 	// tel instruments the ledger (nil, the default, disables it); see
 	// Instrument.
 	tel *ledgerTel
@@ -84,6 +92,7 @@ func New(scen *model.Scenario) *Allocation {
 		serverOn:     make([]bool, len(scen.Cloud.Servers)),
 		serverDirty:  make([]bool, len(scen.Cloud.Servers)),
 		ledgers:      make([]clusterLedger, scen.Cloud.NumClusters()),
+		clusterVer:   make([]uint64, scen.Cloud.NumClusters()),
 	}
 	for i := range a.clusterOf {
 		a.clusterOf[i] = Unassigned
@@ -108,6 +117,23 @@ func (a *Allocation) ClusterOf(i model.ClientID) int { return a.clusterOf[i] }
 
 // Assigned reports whether client i is placed.
 func (a *Allocation) Assigned(i model.ClientID) bool { return a.clusterOf[i] != Unassigned }
+
+// ClusterVersion returns cluster k's mutation counter: it advances on
+// every committed Assign/Unassign touching the cluster and is restored by
+// rolled-back transactions, so an unchanged value means the cluster's
+// placement state is exactly as it was.
+func (a *Allocation) ClusterVersion(k model.ClusterID) uint64 { return a.clusterVer[k] }
+
+// ClusterVersionSum folds all cluster versions into one value; a change
+// anywhere in the cloud changes the sum (up to the astronomically
+// unlikely exact cancellation of a bump against a rollback restore).
+func (a *Allocation) ClusterVersionSum() uint64 {
+	var sum uint64
+	for _, v := range a.clusterVer {
+		sum += v
+	}
+	return sum
+}
 
 // Portions returns a copy of client i's portions.
 func (a *Allocation) Portions(i model.ClientID) []Portion {
@@ -149,6 +175,7 @@ func (a *Allocation) Assign(i model.ClientID, k model.ClusterID, portions []Port
 	}
 	a.ledgers[k].assigned++
 	a.markClientDirty(i, int(k))
+	a.clusterVer[k]++
 	return nil
 }
 
@@ -191,6 +218,7 @@ func (a *Allocation) Unassign(i model.ClientID) (model.ClusterID, []Portion) {
 	}
 	a.clusterOf[i] = Unassigned
 	a.portions[i] = nil
+	a.clusterVer[k]++
 	return k, ps
 }
 

@@ -201,6 +201,7 @@ func (a *Allocation) Clone() *Allocation {
 		serverOn:     append([]bool(nil), a.serverOn...),
 		serverDirty:  append([]bool(nil), a.serverDirty...),
 		ledgers:      make([]clusterLedger, len(a.ledgers)),
+		clusterVer:   append([]uint64(nil), a.clusterVer...),
 		tel:          a.tel, // clones keep reporting to the same metrics
 	}
 	for i, ps := range a.portions {

@@ -24,6 +24,12 @@ type Txn struct {
 	base    float64
 	entries []txnEntry
 	seen    map[model.ClientID]struct{}
+	// verSnap holds the cluster-version counters at Begin — the whole
+	// vector for a whole-cloud scope, the single scoped entry otherwise —
+	// so Rollback can restore them: a rolled-back experiment leaves the
+	// placement state untouched and must not register as a change to the
+	// dirty-cluster tracking (allocation.go ClusterVersion).
+	verSnap []uint64
 }
 
 type txnEntry struct {
@@ -42,6 +48,7 @@ func (a *Allocation) Begin() *Txn {
 		cluster: Unassigned,
 		base:    a.Profit(),
 		seen:    make(map[model.ClientID]struct{}),
+		verSnap: append([]uint64(nil), a.clusterVer...),
 	}
 }
 
@@ -55,6 +62,7 @@ func (a *Allocation) BeginCluster(k model.ClusterID) *Txn {
 		cluster: int(k),
 		base:    a.ClusterProfit(k),
 		seen:    make(map[model.ClientID]struct{}),
+		verSnap: []uint64{a.clusterVer[k]},
 	}
 }
 
@@ -104,6 +112,14 @@ func (t *Txn) Rollback() error {
 		if err := t.a.Assign(e.client, e.cluster, e.portions); err != nil {
 			return fmt.Errorf("alloc: transaction rollback of client %d failed: %w", e.client, err)
 		}
+	}
+	// The replay above restored the placement state exactly; restore the
+	// version counters too, so the speculative mutations do not mark the
+	// scoped clusters as changed.
+	if t.cluster == Unassigned {
+		copy(t.a.clusterVer, t.verSnap)
+	} else {
+		t.a.clusterVer[t.cluster] = t.verSnap[0]
 	}
 	t.entries = nil
 	t.seen = nil

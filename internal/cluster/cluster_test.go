@@ -158,6 +158,55 @@ func TestManagerSolveMatchesQuality(t *testing.T) {
 	}
 }
 
+func TestManagerCentralReassign(t *testing.T) {
+	scen := genScenario(t, 30, 3)
+
+	off := DefaultManagerConfig()
+	off.CentralReassign = false
+	mOff, err := NewManager(scen, localAgents(t, scen), off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mOff.Close()
+	aOff, stOff, err := mOff.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stOff.Reassignments != 0 {
+		t.Fatalf("CentralReassign off but %d reassignments reported", stOff.Reassignments)
+	}
+
+	mOn, err := NewManager(scen, localAgents(t, scen), DefaultManagerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mOn.Close()
+	aOn, stOn, err := mOn.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := aOn.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The polish must never drop a served client (it runs without
+	// admission control) and must never lose profit.
+	if aOn.NumAssigned() != aOff.NumAssigned() {
+		t.Fatalf("polish changed assignment count: %d vs %d", aOn.NumAssigned(), aOff.NumAssigned())
+	}
+	if aOn.Profit() < aOff.Profit()-1e-9 {
+		t.Fatalf("central reassign lost profit: %v -> %v", aOff.Profit(), aOn.Profit())
+	}
+	if math.Abs(aOn.Profit()-stOn.FinalProfit) > 1e-6 {
+		t.Fatalf("merged profit %v != reported %v", aOn.Profit(), stOn.FinalProfit)
+	}
+
+	bad := DefaultManagerConfig()
+	bad.MaxReassignPasses = -1
+	if _, err := NewManager(scen, localAgents(t, scen), bad); err == nil {
+		t.Fatal("negative MaxReassignPasses accepted")
+	}
+}
+
 func TestManagerDeterministic(t *testing.T) {
 	scen := genScenario(t, 15, 4)
 	m1, err := NewManager(scen, localAgents(t, scen), DefaultManagerConfig())

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/alloc"
+	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/telemetry"
 )
@@ -24,6 +25,20 @@ type ManagerConfig struct {
 	Tolerance float64
 	// Seed drives the client processing order.
 	Seed int64
+	// CentralReassign runs the cloud-level reassignment pipeline on the
+	// merged allocation after the distributed improvement rounds.
+	// Cross-cluster client moves are a central-manager operation (paper
+	// Section V) the per-cluster agents cannot perform; without this
+	// polish the distributed solve never moves a client between clusters
+	// after the initial greedy placement.
+	CentralReassign bool
+	// MaxReassignPasses bounds the central reassignment rounds; each
+	// pass after the first costs roughly O(changed clients) thanks to
+	// the solver's dirty-cluster tracking.
+	MaxReassignPasses int
+	// ReassignWorkers sizes the central pass's scoring worker pool
+	// (core.Config.Workers): 0 uses GOMAXPROCS.
+	ReassignWorkers int
 	// Telemetry, when non-nil, instruments the manager: solve/round
 	// spans, round-latency histograms and per-cluster profit gauges.
 	Telemetry *telemetry.Set
@@ -32,10 +47,12 @@ type ManagerConfig struct {
 // DefaultManagerConfig matches the sequential solver's defaults.
 func DefaultManagerConfig() ManagerConfig {
 	return ManagerConfig{
-		NumInitSolutions: 3,
-		MaxImproveRounds: 20,
-		Tolerance:        1e-4,
-		Seed:             1,
+		NumInitSolutions:  3,
+		MaxImproveRounds:  20,
+		Tolerance:         1e-4,
+		Seed:              1,
+		CentralReassign:   true,
+		MaxReassignPasses: 3,
 	}
 }
 
@@ -46,6 +63,9 @@ type ManagerStats struct {
 	ImproveRounds int
 	Activations   int
 	Deactivations int
+	// Reassignments counts the cross-cluster moves of the central
+	// reassignment polish (0 when CentralReassign is off).
+	Reassignments int
 	Unplaced      int
 	// Elapsed is the wall-clock time of the whole solve; InitElapsed the
 	// share spent building (and replaying) the initial solutions.
@@ -97,6 +117,10 @@ type Manager struct {
 	agents []Agent
 	cfg    ManagerConfig
 	tel    *mgrTel
+	// reassigner runs the central reassignment polish on the merged
+	// allocation (nil when CentralReassign is off). Its cross-round
+	// dirty-cluster marks persist between Solve calls.
+	reassigner *core.Solver
 }
 
 // NewManager wires a manager to its cluster agents. Exactly one agent per
@@ -117,15 +141,31 @@ func NewManager(scen *model.Scenario, agents []Agent, cfg ManagerConfig) (*Manag
 			return nil, fmt.Errorf("cluster: agent %d manages cluster %d", k, id)
 		}
 	}
-	if cfg.NumInitSolutions <= 0 || cfg.MaxImproveRounds < 0 || cfg.Tolerance < 0 {
+	if cfg.NumInitSolutions <= 0 || cfg.MaxImproveRounds < 0 || cfg.Tolerance < 0 ||
+		cfg.MaxReassignPasses < 0 || cfg.ReassignWorkers < 0 {
 		return nil, fmt.Errorf("cluster: invalid config %+v", cfg)
 	}
-	return &Manager{
+	m := &Manager{
 		scen:   scen,
 		agents: agents,
 		cfg:    cfg,
 		tel:    newMgrTel(cfg.Telemetry, scen.Cloud.NumClusters()),
-	}, nil
+	}
+	if cfg.CentralReassign && cfg.MaxReassignPasses > 0 {
+		ccfg := core.DefaultConfig()
+		ccfg.Workers = cfg.ReassignWorkers
+		ccfg.Telemetry = cfg.Telemetry
+		// The polish only moves clients between clusters; dropping an
+		// already-served client would break the distributed solve's
+		// constraint-(6) contract (every admitted client stays served).
+		ccfg.AdmissionControl = false
+		solver, err := core.NewSolver(scen, ccfg)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: central reassigner: %w", err)
+		}
+		m.reassigner = solver
+	}
+	return m, nil
 }
 
 // Solve runs the distributed heuristic and merges the agents' final
@@ -196,6 +236,28 @@ func (m *Manager) Solve() (*alloc.Allocation, ManagerStats, error) {
 	merged, err := m.merge()
 	if err != nil {
 		return nil, ManagerStats{}, err
+	}
+
+	// Central reassignment polish: the one local-search move only the
+	// manager can make — moving clients across clusters on the merged
+	// global state (paper Section V).
+	if m.reassigner != nil {
+		csp := m.tel.start("manager.central_reassign")
+		if m.cfg.Telemetry != nil {
+			merged.Instrument(m.cfg.Telemetry)
+		}
+		for pass := 0; pass < m.cfg.MaxReassignPasses; pass++ {
+			moved := m.reassigner.ReassignmentPass(merged)
+			stats.Reassignments += moved
+			if moved == 0 {
+				break
+			}
+		}
+		if stats.Reassignments > 0 {
+			stats.FinalProfit = merged.Profit()
+		}
+		csp.Attr("moves", stats.Reassignments)
+		csp.End()
 	}
 	stats.Unplaced = m.scen.NumClients() - merged.NumAssigned()
 	stats.Elapsed = time.Since(start)

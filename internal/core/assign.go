@@ -14,6 +14,17 @@ import (
 // the requested cluster (no disk, no stable share combination).
 var ErrCannotPlace = errors.New("core: client cannot be placed in cluster")
 
+// placementView is the read surface Assign_Distribute prices a candidate
+// placement against. Both a live *alloc.Allocation and a read-only
+// *alloc.View (the allocation with one client subtracted, used by the
+// reassignment scoring pool) satisfy it.
+type placementView interface {
+	ProcShareUsed(model.ServerID) float64
+	CommShareUsed(model.ServerID) float64
+	DiskUsed(model.ServerID) float64
+	Active(model.ServerID) bool
+}
+
 // candidateKey memoizes Assign_Distribute rows across identical servers:
 // inactive servers of one class look the same to the client, so the paper
 // solves them "only once" (Section V.A).
@@ -33,18 +44,34 @@ type candidate struct {
 	shareB []float64
 }
 
+// distScratch holds one Assign_Distribute evaluation's working memory so
+// a hot caller (one per reassignment scoring worker) can reuse it across
+// calls. The portions returned from a scratch-backed call alias the
+// scratch and are only valid until the next call with the same scratch.
+type distScratch struct {
+	memo     map[candidateKey]int
+	cands    []candidate
+	rows     [][]float64
+	arena    []float64 // backing store for values/shareP/shareB rows
+	dp       opt.PortionScratch
+	portions []alloc.Portion
+}
+
 // AssignDistribute evaluates the best placement of (unassigned) client i
 // on cluster k given the current allocation state, without mutating it.
 // It returns the approximate profit of the placement and the portions
 // realizing it (paper Section V.A: closed-form shares per server and α
 // grid, combined by dynamic programming so that Σα = 1).
 func (s *Solver) AssignDistribute(a *alloc.Allocation, i model.ClientID, k model.ClusterID) (float64, []alloc.Portion, error) {
-	return s.assignDistribute(a, i, k, nil)
+	return s.assignDistribute(a, i, k, nil, nil)
 }
 
-// assignDistribute is AssignDistribute with an optional server filter
-// (used by TurnOFF to exclude the server being drained).
-func (s *Solver) assignDistribute(a *alloc.Allocation, i model.ClientID, k model.ClusterID, allowed func(model.ServerID) bool) (float64, []alloc.Portion, error) {
+// assignDistribute is AssignDistribute generalized over the read surface
+// (live allocation or exclusion view), with an optional server filter
+// (used by TurnOFF to exclude the server being drained) and an optional
+// scratch for allocation-free evaluation.
+func (s *Solver) assignDistribute(v placementView, i model.ClientID, k model.ClusterID,
+	allowed func(model.ServerID) bool, scr *distScratch) (float64, []alloc.Portion, error) {
 	scen := s.scen
 	if int(k) < 0 || int(k) >= scen.Cloud.NumClusters() {
 		return 0, nil, fmt.Errorf("core: unknown cluster %d", k)
@@ -53,20 +80,41 @@ func (s *Solver) assignDistribute(a *alloc.Allocation, i model.ClientID, k model
 	u := scen.Utility(i)
 	w := cl.ArrivalRate * u.Slope
 	g := s.cfg.AlphaGranularity
+	servers := scen.Cloud.ClusterServers(k)
 
 	var cands []candidate
-	memo := make(map[candidateKey]int)
-	for _, j := range scen.Cloud.ClusterServers(k) {
+	var memo map[candidateKey]int
+	var arena []float64
+	if scr != nil {
+		cands = scr.cands[:0]
+		if scr.memo == nil {
+			scr.memo = make(map[candidateKey]int, len(servers))
+		} else {
+			clear(scr.memo)
+		}
+		memo = scr.memo
+		// Size the row arena for the worst case (every server unique) up
+		// front so handing out sub-slices never reallocates mid-call.
+		need := 3 * (g + 1) * len(servers)
+		if cap(scr.arena) < need {
+			scr.arena = make([]float64, need)
+		}
+		arena = scr.arena[:0]
+	} else {
+		memo = make(map[candidateKey]int)
+	}
+
+	for _, j := range servers {
 		if allowed != nil && !allowed(j) {
 			continue
 		}
 		class := scen.Cloud.ServerClass(j)
 		key := candidateKey{
 			class:  class.ID,
-			availP: 1 - a.ProcShareUsed(j),
-			availB: 1 - a.CommShareUsed(j),
-			diskOK: a.DiskUsed(j)+cl.DiskNeed <= class.StoreCap,
-			active: a.Active(j),
+			availP: 1 - v.ProcShareUsed(j),
+			availB: 1 - v.CommShareUsed(j),
+			diskOK: v.DiskUsed(j)+cl.DiskNeed <= class.StoreCap,
+			active: v.Active(j),
 		}
 		if idx, ok := memo[key]; ok {
 			prev := cands[idx]
@@ -78,19 +126,46 @@ func (s *Solver) assignDistribute(a *alloc.Allocation, i model.ClientID, k model
 			})
 			continue
 		}
-		cand := s.tabulateServer(cl, u, w, j, class, key, g)
+		cand := candidate{server: j}
+		if scr != nil {
+			n := len(arena)
+			arena = arena[:n+3*(g+1)]
+			cand.values = arena[n : n+g+1 : n+g+1]
+			cand.shareP = arena[n+g+1 : n+2*(g+1) : n+2*(g+1)]
+			cand.shareB = arena[n+2*(g+1) : n+3*(g+1) : n+3*(g+1)]
+		} else {
+			cand.values = make([]float64, g+1)
+			cand.shareP = make([]float64, g+1)
+			cand.shareB = make([]float64, g+1)
+		}
+		s.tabulateServer(&cand, cl, u, w, class, key, g)
 		memo[key] = len(cands)
 		cands = append(cands, cand)
+	}
+	if scr != nil {
+		scr.cands = cands
+		scr.arena = arena
 	}
 	if len(cands) == 0 {
 		return 0, nil, ErrCannotPlace
 	}
 
-	rows := make([][]float64, len(cands))
-	for c := range cands {
-		rows[c] = cands[c].values
+	var rows [][]float64
+	if scr != nil {
+		rows = scr.rows[:0]
 	}
-	best, units, err := opt.CombinePortions(rows, g)
+	for c := range cands {
+		rows = append(rows, cands[c].values)
+	}
+	var best float64
+	var units []int
+	var err error
+	if scr != nil {
+		scr.rows = rows
+		best, units, err = scr.dp.Combine(rows, g)
+	} else {
+		best, units, err = opt.CombinePortions(rows, g)
+	}
 	if err != nil {
 		if errors.Is(err, opt.ErrNoFeasibleCombination) {
 			return 0, nil, ErrCannotPlace
@@ -98,6 +173,9 @@ func (s *Solver) assignDistribute(a *alloc.Allocation, i model.ClientID, k model
 		return 0, nil, fmt.Errorf("core: assign-distribute DP: %w", err)
 	}
 	var portions []alloc.Portion
+	if scr != nil {
+		portions = scr.portions[:0]
+	}
 	for c, ug := range units {
 		if ug == 0 {
 			continue
@@ -109,21 +187,19 @@ func (s *Solver) assignDistribute(a *alloc.Allocation, i model.ClientID, k model
 			CommShare: cands[c].shareB[ug],
 		})
 	}
+	if scr != nil {
+		scr.portions = portions
+	}
 	return best, portions, nil
 }
 
-// tabulateServer fills the per-α-grid contribution of one server: the
-// linearized revenue α·λ·a minus the weighted tandem delay, the marginal
-// energy cost P1·α·λ̃·tp/Cp, and the activation cost P0 for an inactive
-// server.
-func (s *Solver) tabulateServer(cl *model.Client, u model.UtilityClass, w float64,
-	j model.ServerID, class model.ServerClass, key candidateKey, g int) candidate {
-	cand := candidate{
-		server: j,
-		values: make([]float64, g+1),
-		shareP: make([]float64, g+1),
-		shareB: make([]float64, g+1),
-	}
+// tabulateServer fills the per-α-grid contribution of one server into
+// cand's (pre-sized, possibly recycled) rows: the linearized revenue
+// α·λ·a minus the weighted tandem delay, the marginal energy cost
+// P1·α·λ̃·tp/Cp, and the activation cost P0 for an inactive server.
+func (s *Solver) tabulateServer(cand *candidate, cl *model.Client, u model.UtilityClass, w float64,
+	class model.ServerClass, key candidateKey, g int) {
+	cand.values[0] = 0
 	for ug := 1; ug <= g; ug++ {
 		cand.values[ug] = opt.NegInf
 		if !key.diskOK {
@@ -154,5 +230,4 @@ func (s *Solver) tabulateServer(cl *model.Client, u model.UtilityClass, w float6
 		cand.shareP[ug] = phiP
 		cand.shareB[ug] = phiB
 	}
-	return cand
 }

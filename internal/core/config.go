@@ -36,6 +36,17 @@ type Config struct {
 	// by the greedy share formula. >1 reserves more headroom for future
 	// clients; <1 is more generous to the client being placed.
 	ShadowPriceScale float64
+	// Workers bounds the scoring worker pool of the pipelined
+	// reassignment pass (reassign.go): 0, the default, uses
+	// runtime.GOMAXPROCS; 1 scores sequentially. The committed moves are
+	// identical for every worker count.
+	Workers int
+	// DisableParallelReassign falls back to the legacy strictly
+	// sequential reassignment pass — score and commit one client at a
+	// time in ID order — instead of the two-stage score/commit pipeline.
+	// Kept as the pre-pipeline baseline and escape hatch; the pipeline
+	// may visit a different (equally valid) local optimum.
+	DisableParallelReassign bool
 	// AdmissionControl lets the provider leave a client unserved when
 	// serving it would lose money (negative marginal profit). The paper's
 	// constraint (6) nominally serves everyone, but its experiments only
@@ -84,6 +95,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: Tolerance = %v", c.Tolerance)
 	case c.ShadowPriceScale <= 0:
 		return fmt.Errorf("core: ShadowPriceScale = %v", c.ShadowPriceScale)
+	case c.Workers < 0:
+		return fmt.Errorf("core: Workers = %d", c.Workers)
 	}
 	return nil
 }

@@ -333,7 +333,7 @@ func (s *Solver) rerouteOff(a *alloc.Allocation, i model.ClientID, k model.Clust
 	}
 	// Full re-assignment inside the cluster, excluding the drained server.
 	a.Unassign(i)
-	_, portions, err := s.assignDistribute(a, i, k, func(srv model.ServerID) bool { return srv != j })
+	_, portions, err := s.assignDistribute(a, i, k, func(srv model.ServerID) bool { return srv != j }, nil)
 	if err == nil {
 		if err := a.Assign(i, k, portions); err == nil {
 			return true

@@ -8,28 +8,46 @@ import (
 )
 
 // ReassignmentPass is the cloud-level move of the paper's local search:
-// each client in turn is removed and re-placed on whichever cluster now
-// offers the highest exact profit ("this local search is not only used to
+// each client is removed and re-placed on whichever cluster now offers
+// the highest exact profit ("this local search is not only used to
 // change client assignment to decrease the resource saturation in some of
 // clusters but also to combine the clients", Section V). It is a central-
 // manager operation — unlike the per-cluster phases it may move clients
-// across clusters, so it runs sequentially. Returns the number of
-// improving moves.
+// across clusters. Returns the number of improving moves (evictions and
+// re-admissions included).
 //
 // Candidates are compared by their exact marginal profit against the
 // "client unserved" state: moving one client only changes its own revenue
 // and the costs of the servers it leaves or joins, so the comparison is
 // O(portions) instead of O(clients).
+//
+// By default the pass runs as a two-stage pipeline (reassign_pipeline.go):
+// candidate scoring for all clients in parallel against the frozen
+// allocation, then a serial commit loop in descending-gain order. Config
+// DisableParallelReassign selects the legacy one-client-at-a-time pass
+// instead.
 func (s *Solver) ReassignmentPass(a *alloc.Allocation) int {
+	if s.cfg.DisableParallelReassign {
+		return s.reassignmentPassSequential(a)
+	}
+	return s.reassignmentPassPipelined(a)
+}
+
+// reassignmentPassSequential is the pre-pipeline baseline: score and
+// commit one client at a time in ID order, each client seeing the moves
+// of every client before it.
+func (s *Solver) reassignmentPassSequential(a *alloc.Allocation) int {
 	numK := s.scen.Cloud.NumClusters()
 	var moves int
+	var commitFails int64
+	var seen []model.ServerID // portionServerCost dedup scratch
 	for ci := 0; ci < s.scen.NumClients(); ci++ {
 		i := model.ClientID(ci)
 		prevK, prevPortions := a.Unassign(i)
 
 		// Marginal profit of a candidate placement vs staying out.
 		gainOf := func(k model.ClusterID, portions []alloc.Portion) (float64, bool) {
-			costBefore := s.portionServerCost(a, portions)
+			costBefore := s.portionServerCost(a, portions, &seen)
 			if err := a.Assign(i, k, portions); err != nil {
 				return 0, false
 			}
@@ -37,7 +55,7 @@ func (s *Solver) ReassignmentPass(a *alloc.Allocation) int {
 			// reject the candidate) from "worthless move" (zero revenue —
 			// a legitimate gain of −Δcost).
 			rev, revErr := a.RevenueErr(i)
-			gain := rev - (s.portionServerCost(a, portions) - costBefore)
+			gain := rev - (s.portionServerCost(a, portions, &seen) - costBefore)
 			a.Unassign(i)
 			if revErr != nil {
 				return 0, false
@@ -78,10 +96,19 @@ func (s *Solver) ReassignmentPass(a *alloc.Allocation) int {
 			if err := a.Assign(i, bestK, bestPortions); err == nil {
 				moves++
 				continue
+			} else {
+				commitFails++
+				s.debugf("reassign: commit of best placement failed",
+					"client", i, "cluster", bestK, "err", err)
 			}
 			fallthrough
 		case prevK != alloc.Unassigned && prevGain >= outGain:
 			if err := a.Assign(i, prevK, prevPortions); err != nil {
+				// The client's previous placement no longer fits either —
+				// it is now unserved, which must not pass silently.
+				commitFails++
+				s.debugf("reassign: restore of previous placement failed, client unserved",
+					"client", i, "cluster", prevK, "err", err)
 				continue
 			}
 		default:
@@ -91,20 +118,41 @@ func (s *Solver) ReassignmentPass(a *alloc.Allocation) int {
 			}
 		}
 	}
+	if s.tel != nil && commitFails > 0 {
+		s.tel.reassignCommitFails.Add(commitFails)
+	}
 	return moves
 }
 
 // portionServerCost sums the current cost of the (deduplicated) servers
-// referenced by the portions.
-func (s *Solver) portionServerCost(a *alloc.Allocation, portions []alloc.Portion) float64 {
+// referenced by the portions. seen is a reused dedup scratch — portions
+// touch at most a handful of servers, so a linear scan over a recycled
+// small slice beats a per-call map on this hot path.
+func (s *Solver) portionServerCost(a *alloc.Allocation, portions []alloc.Portion, seen *[]model.ServerID) float64 {
 	var cost float64
-	seen := make(map[model.ServerID]struct{}, len(portions))
+	sl := (*seen)[:0]
 	for _, p := range portions {
-		if _, ok := seen[p.Server]; ok {
+		dup := false
+		for _, j := range sl {
+			if j == p.Server {
+				dup = true
+				break
+			}
+		}
+		if dup {
 			continue
 		}
-		seen[p.Server] = struct{}{}
+		sl = append(sl, p.Server)
 		cost += a.ServerCost(p.Server)
 	}
+	*seen = sl
 	return cost
+}
+
+// debugf emits a debug log line through the telemetry set's logger; inert
+// when telemetry is disabled.
+func (s *Solver) debugf(msg string, args ...any) {
+	if s.tel != nil {
+		s.tel.set.Logger().Debug(msg, args...)
+	}
 }

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/model"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+// ulpEqual reports |a−b| within one unit in the last place of the larger
+// magnitude (the issue's "ledger-validated identical profit" tolerance).
+func ulpEqual(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	m := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= math.Nextafter(m, math.Inf(1))-m
+}
+
+// sameAssignments fails the test unless the two allocations place every
+// client identically — same cluster, bit-identical portions.
+func sameAssignments(t *testing.T, scen *model.Scenario, x, y *alloc.Allocation, label string) {
+	t.Helper()
+	for i := range scen.Clients {
+		id := model.ClientID(i)
+		if x.ClusterOf(id) != y.ClusterOf(id) {
+			t.Fatalf("%s: client %d on cluster %d vs %d", label, id, x.ClusterOf(id), y.ClusterOf(id))
+		}
+		px, py := x.Portions(id), y.Portions(id)
+		if len(px) != len(py) {
+			t.Fatalf("%s: client %d has %d vs %d portions", label, id, len(px), len(py))
+		}
+		for p := range px {
+			if px[p] != py[p] {
+				t.Fatalf("%s: client %d portion %d differs: %+v vs %+v", label, id, p, px[p], py[p])
+			}
+		}
+	}
+}
+
+// TestReassignmentPassWorkerEquivalence is the determinism property the
+// pipeline promises: for a fixed starting allocation, the pass commits
+// the same move set, produces bit-identical assignments and ledger-equal
+// profit for every scoring worker count. Run under -race this also
+// exercises the scoring pool's concurrent reads.
+func TestReassignmentPassWorkerEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		wcfg := workload.DefaultConfig()
+		wcfg.NumClients = 40
+		wcfg.Seed = seed
+		scen, err := workload.Generate(wcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Alternate admission control to cover the eviction branches.
+		mutate := func(workers int) func(*Config) {
+			return func(c *Config) {
+				c.Workers = workers
+				c.AdmissionControl = seed%2 == 0
+			}
+		}
+		s1 := newTestSolver(t, scen, mutate(1))
+		sN := newTestSolver(t, scen, mutate(4))
+
+		a1, err := s1.InitialSolution(rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		aN, err := sN.InitialSolution(rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameAssignments(t, scen, a1, aN, "greedy baseline")
+
+		// Several passes so the second and third run against the marks
+		// cached from the first (the cross-round skip path).
+		for pass := 0; pass < 3; pass++ {
+			m1 := s1.ReassignmentPass(a1)
+			mN := sN.ReassignmentPass(aN)
+			if m1 != mN {
+				t.Fatalf("seed %d pass %d: %d moves with 1 worker, %d with 4", seed, pass, m1, mN)
+			}
+			sameAssignments(t, scen, a1, aN, "after pass")
+			if !ulpEqual(a1.Profit(), aN.Profit()) {
+				t.Fatalf("seed %d pass %d: profit %v vs %v", seed, pass, a1.Profit(), aN.Profit())
+			}
+		}
+		if err := a1.Validate(); err != nil {
+			t.Fatalf("seed %d: sequential result invalid: %v", seed, err)
+		}
+		if err := aN.Validate(); err != nil {
+			t.Fatalf("seed %d: parallel result invalid: %v", seed, err)
+		}
+	}
+}
+
+// TestSolveWorkerEquivalencePaperSized runs the full heuristic on a
+// paper-sized instance with sequential and parallel reassignment scoring
+// and requires identical Reassignments counts, identical assignments and
+// ledger-equal final profit (the PR's acceptance criterion).
+func TestSolveWorkerEquivalencePaperSized(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-sized solve in -short mode")
+	}
+	wcfg := workload.DefaultConfig()
+	wcfg.NumClients = 250
+	wcfg.Seed = 42
+	scen, err := workload.Generate(wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := newTestSolver(t, scen, func(c *Config) { c.Workers = 1 })
+	sN := newTestSolver(t, scen, func(c *Config) { c.Workers = 8 })
+
+	a1, st1, err := s1.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	aN, stN, err := sN.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.Reassignments != stN.Reassignments {
+		t.Fatalf("Reassignments: %d sequential vs %d parallel", st1.Reassignments, stN.Reassignments)
+	}
+	sameAssignments(t, scen, a1, aN, "solve")
+	if !ulpEqual(st1.FinalProfit, stN.FinalProfit) {
+		t.Fatalf("final profit %v vs %v", st1.FinalProfit, stN.FinalProfit)
+	}
+	if err := aN.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReassignmentPassDirtySkip checks the cross-round invariant: a
+// second pass over an untouched allocation scores nothing — every client
+// hits the clean-cluster skip — and commits nothing.
+func TestReassignmentPassDirtySkip(t *testing.T) {
+	scen := smallScenario(t, 30, 9)
+	set := telemetry.New(nil)
+	s := newTestSolver(t, scen, func(c *Config) { c.Telemetry = set })
+	a, _, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drain to convergence (Solve usually already has, but be explicit).
+	for i := 0; i < 5 && s.ReassignmentPass(a) > 0; i++ {
+	}
+
+	scored := set.Counter("solver_reassign_scored_total")
+	skipped := set.Counter("solver_reassign_dirty_skipped_total")
+	scoredBefore, skippedBefore := scored.Value(), skipped.Value()
+	if moves := s.ReassignmentPass(a); moves != 0 {
+		t.Fatalf("converged allocation still moved %d clients", moves)
+	}
+	if got := scored.Value() - scoredBefore; got != 0 {
+		t.Fatalf("converged pass scored %d clients, want 0", got)
+	}
+	if got := skipped.Value() - skippedBefore; got != int64(scen.NumClients()) {
+		t.Fatalf("converged pass skipped %d clients, want all %d", got, scen.NumClients())
+	}
+
+	// Touching one cluster must wake exactly the clients that depend on
+	// it — at least the moved client, and never the whole cloud again.
+	var touched model.ClientID
+	found := false
+	for i := range scen.Clients {
+		id := model.ClientID(i)
+		if a.Assigned(id) {
+			touched = id
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Skip("no assigned client to perturb")
+	}
+	k, ps := a.Unassign(touched)
+	if err := a.Assign(touched, k, ps); err != nil {
+		t.Fatal(err)
+	}
+	scoredBefore = scored.Value()
+	s.ReassignmentPass(a)
+	if got := scored.Value() - scoredBefore; got == 0 {
+		t.Fatal("perturbed cluster did not trigger rescoring")
+	}
+}
+
+// TestReassignmentPassLegacyMatchesPreviousBehaviour pins the legacy
+// (DisableParallelReassign) pass: it must still converge to a valid
+// allocation and never lose profit.
+func TestReassignmentPassLegacySequential(t *testing.T) {
+	scen := smallScenario(t, 30, 4)
+	s := newTestSolver(t, scen, func(c *Config) { c.DisableParallelReassign = true })
+	a, err := s.InitialSolution(rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := a.Profit()
+	s.ReassignmentPass(a)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Profit() < before-1e-9 {
+		t.Fatalf("legacy pass lost profit: %v -> %v", before, a.Profit())
+	}
+}

@@ -1,0 +1,425 @@
+package core
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/alloc"
+	"repro/internal/model"
+)
+
+// The pipelined reassignment pass (the default, see ReassignmentPass)
+// splits the work the legacy pass interleaves:
+//
+//  1. Scoring: a worker pool prices every client's candidate placements
+//     (one Assign_Distribute plus one exact marginal gain per cluster)
+//     against the frozen allocation through a read-only alloc.View —
+//     no mutation, no ledger traffic, so workers share the allocation
+//     without locks.
+//  2. Commit: a serial loop pops candidates in descending profit-delta
+//     order (ties broken by ascending ClientID — this fixed order is
+//     what makes the result independent of the worker count) and applies
+//     each through a Txn, revalidating the exact delta against the live
+//     allocation. Candidates whose source or target cluster was dirtied
+//     by an earlier commit are rescored against the live state and
+//     re-enter the queue.
+//
+// Across passes the solver remembers, per client, the cluster versions
+// its last decision depended on (its own cluster and its best candidate
+// cluster). A client whose relevant clusters are untouched since then is
+// skipped entirely, so passes on a converged allocation approach
+// O(changed) instead of O(clients × clusters).
+
+// reassignCand is one client's committed-to-be-tried action: a move to
+// cluster toK (fromK = -1 re-admits an unserved client), or an eviction
+// (toK = -1).
+type reassignCand struct {
+	client   model.ClientID
+	fromK    int
+	toK      int
+	delta    float64 // expected profit improvement; the commit-order key
+	minDelta float64 // live-revalidation threshold (Txn.Delta must exceed it)
+	fromVer  uint64  // ClusterVersion(fromK) at scoring time
+	toVer    uint64  // ClusterVersion(toK) at scoring time
+	portions []alloc.Portion
+}
+
+// clientMark records what a client's most recent scoring decision
+// depended on, for the cross-pass skip rule.
+type clientMark struct {
+	scored bool
+	cur    int32 // cluster the client was on when scored (-1 unassigned)
+	best   int32 // best candidate cluster found (-1 when none was feasible)
+	curVer uint64
+	// bestVer is ClusterVersion(best) when best >= 0; when no cluster
+	// could host the client it is the ClusterVersionSum instead — any
+	// change anywhere may have opened capacity, so everything counts.
+	bestVer uint64
+}
+
+// stale reports whether the mark no longer covers the allocation's
+// current state and the client must be rescored.
+func (m *clientMark) stale(a *alloc.Allocation, i model.ClientID, sumVer uint64) bool {
+	if !m.scored || int(m.cur) != a.ClusterOf(i) {
+		return true
+	}
+	if m.cur >= 0 && a.ClusterVersion(model.ClusterID(m.cur)) != m.curVer {
+		return true
+	}
+	if m.best >= 0 {
+		return a.ClusterVersion(model.ClusterID(m.best)) != m.bestVer
+	}
+	return sumVer != m.bestVer
+}
+
+// scoreResult is one client's scoring outcome.
+type scoreResult struct {
+	cand    reassignCand
+	hasCand bool
+	mark    clientMark
+}
+
+// reassignScratch is one scoring worker's reusable working memory.
+type reassignScratch struct {
+	dist distScratch
+	gain alloc.GainScratch
+	best []alloc.Portion
+}
+
+// reassignState carries the cross-pass skip marks plus recycled pass
+// buffers. It is bound to one allocation; a pass over a different
+// allocation starts fresh.
+type reassignState struct {
+	a       *alloc.Allocation
+	marks   []clientMark
+	toScore []model.ClientID
+	results []scoreResult
+	heap    []reassignCand
+	scratch reassignScratch // serial-path and commit-loop scratch
+}
+
+// takeReassignState checks the solver's cached state out (concurrent
+// passes on different allocations each get their own).
+func (s *Solver) takeReassignState(a *alloc.Allocation, n int) *reassignState {
+	s.reassignMu.Lock()
+	st := s.reassignSt
+	s.reassignSt = nil
+	s.reassignMu.Unlock()
+	if st == nil || st.a != a || len(st.marks) != n {
+		st = &reassignState{a: a, marks: make([]clientMark, n)}
+	}
+	return st
+}
+
+func (s *Solver) storeReassignState(st *reassignState) {
+	s.reassignMu.Lock()
+	s.reassignSt = st
+	s.reassignMu.Unlock()
+}
+
+// reassignWorkers resolves the scoring pool size for n scorable clients.
+func (s *Solver) reassignWorkers(n int) int {
+	w := s.cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+func (s *Solver) reassignmentPassPipelined(a *alloc.Allocation) int {
+	n := s.scen.NumClients()
+	st := s.takeReassignState(a, n)
+	defer s.storeReassignState(st)
+
+	outGain := math.Inf(-1)
+	if s.cfg.AdmissionControl {
+		outGain = 0
+	}
+
+	// Stage 0: the cross-pass skip rule — clients whose own and best
+	// candidate clusters are untouched since their last scoring keep
+	// their decision.
+	sumVer := a.ClusterVersionSum()
+	toScore := st.toScore[:0]
+	for ci := 0; ci < n; ci++ {
+		if st.marks[ci].stale(a, model.ClientID(ci), sumVer) {
+			toScore = append(toScore, model.ClientID(ci))
+		}
+	}
+	st.toScore = toScore
+	skipped := n - len(toScore)
+
+	// Stage 1: score all stale clients against the frozen allocation.
+	var t0 time.Time
+	if s.tel != nil {
+		t0 = time.Now()
+	}
+	if cap(st.results) < len(toScore) {
+		st.results = make([]scoreResult, len(toScore))
+	}
+	results := st.results[:len(toScore)]
+	if workers := s.reassignWorkers(len(toScore)); workers <= 1 {
+		for idx, i := range toScore {
+			results[idx] = s.scoreClient(a, i, outGain, &st.scratch)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var ws reassignScratch
+				for {
+					idx := int(next.Add(1)) - 1
+					if idx >= len(toScore) {
+						return
+					}
+					results[idx] = s.scoreClient(a, toScore[idx], outGain, &ws)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Fold the results serially in client order: deterministic marks and
+	// a deterministic initial heap regardless of worker interleaving.
+	heap := st.heap[:0]
+	for idx, i := range toScore {
+		r := &results[idx]
+		st.marks[i] = r.mark
+		if r.hasCand {
+			heap = candPush(heap, r.cand)
+		}
+	}
+	if s.tel != nil {
+		s.tel.reassignScoreDur.ObserveSince(t0)
+		s.tel.reassignScored.Add(int64(len(toScore)))
+		s.tel.reassignSkipped.Add(int64(skipped))
+	}
+
+	// Stage 2: serial commit loop in descending-delta order.
+	var tCommit time.Time
+	if s.tel != nil {
+		tCommit = time.Now()
+	}
+	var moves int
+	var rescores, commitFails int64
+	var rescoreDur time.Duration
+	for len(heap) > 0 {
+		var c reassignCand
+		heap, c = candPop(heap)
+
+		if (c.fromK >= 0 && a.ClusterVersion(model.ClusterID(c.fromK)) != c.fromVer) ||
+			(c.toK >= 0 && a.ClusterVersion(model.ClusterID(c.toK)) != c.toVer) {
+			// An earlier commit dirtied a cluster this candidate was
+			// priced against: rescore against the live allocation.
+			var tr time.Time
+			if s.tel != nil {
+				tr = time.Now()
+			}
+			r := s.scoreClient(a, c.client, outGain, &st.scratch)
+			st.marks[c.client] = r.mark
+			rescores++
+			if s.tel != nil {
+				rescoreDur += time.Since(tr)
+			}
+			if r.hasCand {
+				heap = candPush(heap, r.cand)
+			}
+			continue
+		}
+
+		txn := a.Begin()
+		txn.Capture(c.client)
+		if c.fromK >= 0 {
+			a.Unassign(c.client)
+		}
+		if c.toK >= 0 {
+			if err := a.Assign(c.client, model.ClusterID(c.toK), c.portions); err != nil {
+				// The scored candidate does not fit the live allocation
+				// after all (borderline DP estimate). Restore and drop it —
+				// rescoring the unchanged state would reproduce it.
+				commitFails++
+				s.debugf("reassign: commit of scored candidate failed",
+					"client", c.client, "cluster", c.toK, "err", err)
+				if rbErr := txn.Rollback(); rbErr != nil {
+					s.debugf("reassign: rollback failed", "client", c.client, "err", rbErr)
+				}
+				continue
+			}
+		}
+		if txn.Delta() > c.minDelta {
+			txn.Commit()
+			moves++
+			// The commit changed the clusters this client's own decision
+			// depended on; make sure the next pass rescores it.
+			st.marks[c.client] = clientMark{}
+		} else if rbErr := txn.Rollback(); rbErr != nil {
+			s.debugf("reassign: rollback failed", "client", c.client, "err", rbErr)
+		}
+	}
+	st.heap = heap[:0]
+	if s.tel != nil {
+		s.tel.reassignCommitDur.Observe(max(0, time.Since(tCommit)-rescoreDur).Seconds())
+		if rescoreDur > 0 {
+			s.tel.reassignRescoreDur.Observe(rescoreDur.Seconds())
+		}
+		s.tel.reassignRescores.Add(rescores)
+		if commitFails > 0 {
+			s.tel.reassignCommitFails.Add(commitFails)
+		}
+	}
+	return moves
+}
+
+// scoreClient prices every cluster for one client against the current
+// allocation (read-only, through an exclusion view) and translates the
+// legacy pass's commit switch into at most one candidate action. The
+// mark records what the decision depended on.
+func (s *Solver) scoreClient(a *alloc.Allocation, i model.ClientID, outGain float64, ws *reassignScratch) scoreResult {
+	numK := s.scen.Cloud.NumClusters()
+	view := a.Excluding(i)
+	prevK := a.ClusterOf(i)
+
+	prevGain := math.Inf(-1)
+	if prevK != alloc.Unassigned {
+		if g, ok := view.CurrentGain(&ws.gain); ok {
+			prevGain = g
+		}
+	}
+
+	bestGain := math.Inf(-1)
+	bestK := -1
+	for k := 0; k < numK; k++ {
+		_, portions, err := s.assignDistribute(&view, i, model.ClusterID(k), nil, &ws.dist)
+		if err != nil {
+			continue
+		}
+		if g, ok := view.PlacementGain(model.ClusterID(k), portions, &ws.gain); ok && g > bestGain {
+			bestGain = g
+			bestK = k
+			ws.best = append(ws.best[:0], portions...)
+		}
+	}
+
+	mark := clientMark{scored: true, cur: int32(prevK), best: int32(bestK)}
+	if prevK != alloc.Unassigned {
+		mark.curVer = a.ClusterVersion(model.ClusterID(prevK))
+	}
+	if bestK >= 0 {
+		mark.bestVer = a.ClusterVersion(model.ClusterID(bestK))
+	} else {
+		mark.bestVer = a.ClusterVersionSum()
+	}
+	res := scoreResult{mark: mark}
+
+	// The legacy commit switch, split into "which action" (decided here
+	// on scored gains) and "apply" (the commit loop, revalidated against
+	// the live ledger).
+	switch {
+	case bestK >= 0 && bestGain > prevGain+1e-9 && bestGain > outGain:
+		c := reassignCand{
+			client:   i,
+			fromK:    prevK,
+			toK:      bestK,
+			toVer:    mark.bestVer,
+			portions: append([]alloc.Portion(nil), ws.best...),
+		}
+		switch {
+		case prevK == alloc.Unassigned:
+			// Re-admission: the live delta is the full placement gain.
+			c.fromK = -1
+			c.delta = bestGain
+			c.minDelta = 0
+			if !s.cfg.AdmissionControl {
+				c.minDelta = math.Inf(-1)
+			}
+		case math.IsInf(prevGain, -1):
+			// The current placement is saturated; any feasible move out
+			// of it is taken, as the legacy pass would.
+			c.delta = math.Inf(1)
+			c.minDelta = math.Inf(-1)
+		default:
+			c.delta = bestGain - prevGain
+			c.minDelta = 1e-9
+		}
+		if c.fromK >= 0 {
+			c.fromVer = mark.curVer
+		}
+		res.cand = c
+		res.hasCand = true
+	case prevK != alloc.Unassigned && prevGain < outGain:
+		// Eviction (admission control only): serving this client at its
+		// current placement loses money.
+		res.cand = reassignCand{
+			client:  i,
+			fromK:   prevK,
+			toK:     -1,
+			delta:   -prevGain,
+			fromVer: mark.curVer,
+		}
+		res.hasCand = true
+	}
+	return res
+}
+
+// candBefore orders the commit queue: larger expected delta first,
+// ClientID ascending on ties. The total order is what keeps the commit
+// sequence — and therefore the whole pass — independent of the scoring
+// worker count.
+func candBefore(x, y *reassignCand) bool {
+	if x.delta != y.delta {
+		return x.delta > y.delta
+	}
+	return x.client < y.client
+}
+
+// candPush/candPop implement a plain binary max-heap on a recycled slice.
+func candPush(h []reassignCand, c reassignCand) []reassignCand {
+	h = append(h, c)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !candBefore(&h[i], &h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	return h
+}
+
+func candPop(h []reassignCand) ([]reassignCand, reassignCand) {
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h[last] = reassignCand{} // release the portions slice
+	h = h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		next := i
+		if l < len(h) && candBefore(&h[l], &h[next]) {
+			next = l
+		}
+		if r < len(h) && candBefore(&h[r], &h[next]) {
+			next = r
+		}
+		if next == i {
+			break
+		}
+		h[i], h[next] = h[next], h[i]
+		i = next
+	}
+	return h, top
+}

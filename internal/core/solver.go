@@ -11,12 +11,22 @@ import (
 	"repro/internal/model"
 )
 
-// Solver runs the Resource_Alloc heuristic on one scenario.
+// Solver runs the Resource_Alloc heuristic on one scenario. A Solver is
+// safe for concurrent use as long as each goroutine works on its own
+// allocation; it must not be copied (it guards internal pass state with
+// a mutex).
 type Solver struct {
 	scen   *model.Scenario
 	cfg    Config
 	prices shadowPrices
 	tel    *solverTel // nil when telemetry is disabled
+
+	// reassignSt caches the pipelined reassignment pass's cross-round
+	// skip marks between calls (reassign_pipeline.go). The mutex makes
+	// check-out/check-in safe when callers run passes concurrently on
+	// different allocations.
+	reassignMu sync.Mutex
+	reassignSt *reassignState
 }
 
 // Stats reports what the solver did.

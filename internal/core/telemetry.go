@@ -16,6 +16,13 @@ const (
 	phaseTurnOn     = "turn_on"
 	phaseTurnOff    = "turn_off"
 	phaseReassign   = "reassign"
+
+	// Sub-phases of the pipelined reassignment pass (reassign.go):
+	// parallel candidate scoring, the serial commit loop, and the
+	// rescoring of candidates invalidated by earlier commits.
+	phaseReassignScore   = "reassign_score"
+	phaseReassignCommit  = "reassign_commit"
+	phaseReassignRescore = "reassign_rescore"
 )
 
 // solverTel bundles the solver's pre-resolved metric handles so the hot
@@ -35,6 +42,15 @@ type solverTel struct {
 	turnOnDur     *telemetry.Histogram
 	turnOffDur    *telemetry.Histogram
 	reassignDur   *telemetry.Histogram
+
+	reassignScoreDur   *telemetry.Histogram
+	reassignCommitDur  *telemetry.Histogram
+	reassignRescoreDur *telemetry.Histogram
+
+	reassignScored      *telemetry.Counter
+	reassignSkipped     *telemetry.Counter
+	reassignRescores    *telemetry.Counter
+	reassignCommitFails *telemetry.Counter
 
 	shareMoves      *telemetry.Counter
 	shareAccepts    *telemetry.Counter
@@ -61,6 +77,10 @@ func newSolverTel(set *telemetry.Set) *solverTel {
 	set.Metrics.Help("solver_moves_total", "local-search moves attempted per phase")
 	set.Metrics.Help("solver_moves_accepted_total", "local-search moves accepted per phase")
 	set.Metrics.Help("solver_profit_delta_total", "cumulative profit change contributed per phase")
+	set.Metrics.Help("solver_reassign_scored_total", "clients whose reassignment candidates were (re)scored")
+	set.Metrics.Help("solver_reassign_dirty_skipped_total", "clients that skipped reassignment scoring because their clusters were clean")
+	set.Metrics.Help("solver_reassign_rescores_total", "reassignment candidates rescored after an earlier commit dirtied their clusters")
+	set.Metrics.Help("solver_reassign_commit_failures_total", "reassignment commits rejected by the allocation despite a feasible score")
 	phaseDur := func(phase string) *telemetry.Histogram {
 		return set.Histogram(telemetry.Name("solver_phase_seconds", "phase", phase), telemetry.DurationBuckets)
 	}
@@ -79,6 +99,15 @@ func newSolverTel(set *telemetry.Set) *solverTel {
 		turnOnDur:     phaseDur(phaseTurnOn),
 		turnOffDur:    phaseDur(phaseTurnOff),
 		reassignDur:   phaseDur(phaseReassign),
+
+		reassignScoreDur:   phaseDur(phaseReassignScore),
+		reassignCommitDur:  phaseDur(phaseReassignCommit),
+		reassignRescoreDur: phaseDur(phaseReassignRescore),
+
+		reassignScored:      set.Counter("solver_reassign_scored_total"),
+		reassignSkipped:     set.Counter("solver_reassign_dirty_skipped_total"),
+		reassignRescores:    set.Counter("solver_reassign_rescores_total"),
+		reassignCommitFails: set.Counter("solver_reassign_commit_failures_total"),
 
 		shareMoves:      set.Counter(telemetry.Name("solver_moves_total", "phase", phaseShare)),
 		shareAccepts:    set.Counter(telemetry.Name("solver_moves_accepted_total", "phase", phaseShare)),

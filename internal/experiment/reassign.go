@@ -1,0 +1,172 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/alloc"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// ReassignConfig drives the reassignment-pass microbenchmark backing the
+// REASSIGN section of EXPERIMENTS.md: one pass over a fresh greedy
+// allocation, timed in the legacy sequential mode and in the pipelined
+// mode with one and with all scoring workers.
+type ReassignConfig struct {
+	ClientCounts []int
+	Repeats      int
+	BaseSeed     int64
+	Workload     workload.Config
+	Solver       core.Config
+}
+
+// DefaultReassignConfig measures the issue's 50/250/1000-client points.
+func DefaultReassignConfig() ReassignConfig {
+	return ReassignConfig{
+		ClientCounts: []int{50, 250, 1000},
+		Repeats:      5,
+		BaseSeed:     42,
+		Workload:     workload.DefaultConfig(),
+		Solver:       core.DefaultConfig(),
+	}
+}
+
+// ReassignRow reports mean single-pass times for one client count.
+type ReassignRow struct {
+	Clients int `json:"clients"`
+	Servers int `json:"servers"`
+	// Moves the pipelined pass commits on the greedy allocation; the
+	// pipeline commits the same set for every worker count.
+	Moves int `json:"moves"`
+	// LegacyMoves may differ: the legacy pass is a different algorithm
+	// (mutate-and-measure, immediate commit in client order).
+	LegacyMoves int           `json:"legacy_moves"`
+	Legacy      time.Duration `json:"legacy_ns"`
+	Workers1    time.Duration `json:"workers1_ns"`
+	Parallel    time.Duration `json:"parallel_ns"`
+	// Speedups are legacy time over pipeline time.
+	SpeedupWorkers1 float64 `json:"speedup_workers1"`
+	SpeedupParallel float64 `json:"speedup_parallel"`
+}
+
+// ReassignReport is the machine-readable record written to
+// BENCH_reassign.json so later PRs have a perf trajectory to compare
+// against.
+type ReassignReport struct {
+	GoVersion  string        `json:"go_version"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	NumCPU     int           `json:"num_cpu"`
+	Repeats    int           `json:"repeats"`
+	Rows       []ReassignRow `json:"rows"`
+}
+
+// RunReassign measures one reassignment pass per mode over identical
+// greedy allocations.
+func RunReassign(cfg ReassignConfig) (*ReassignReport, error) {
+	if len(cfg.ClientCounts) == 0 || cfg.Repeats <= 0 {
+		return nil, fmt.Errorf("experiment: bad reassign config %+v", cfg)
+	}
+	report := &ReassignReport{
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Repeats:    cfg.Repeats,
+	}
+	for _, n := range cfg.ClientCounts {
+		wcfg := cfg.Workload
+		wcfg.NumClients = n
+		wcfg.Seed = cfg.BaseSeed + int64(n)
+		scen, err := workload.Generate(wcfg)
+		if err != nil {
+			return nil, err
+		}
+
+		mode := func(mutate func(*core.Config)) (*core.Solver, *alloc.Allocation, error) {
+			sCfg := cfg.Solver
+			mutate(&sCfg)
+			s, err := core.NewSolver(scen, sCfg)
+			if err != nil {
+				return nil, nil, err
+			}
+			base, err := s.InitialSolution(rand.New(rand.NewSource(1)))
+			if err != nil {
+				return nil, nil, err
+			}
+			return s, base, nil
+		}
+		sLegacy, baseLegacy, err := mode(func(c *core.Config) { c.DisableParallelReassign = true })
+		if err != nil {
+			return nil, err
+		}
+		s1, base1, err := mode(func(c *core.Config) { c.Workers = 1 })
+		if err != nil {
+			return nil, err
+		}
+		sN, baseN, err := mode(func(c *core.Config) { c.Workers = 0 })
+		if err != nil {
+			return nil, err
+		}
+
+		row := ReassignRow{Clients: n, Servers: scen.Cloud.NumServers()}
+		timePass := func(s *core.Solver, base *alloc.Allocation) (time.Duration, int) {
+			var total time.Duration
+			var moves int
+			for r := 0; r < cfg.Repeats; r++ {
+				a := base.Clone()
+				start := time.Now()
+				moves = s.ReassignmentPass(a)
+				total += time.Since(start)
+			}
+			return total / time.Duration(cfg.Repeats), moves
+		}
+		row.Legacy, row.LegacyMoves = timePass(sLegacy, baseLegacy)
+		row.Workers1, row.Moves = timePass(s1, base1)
+		var parMoves int
+		row.Parallel, parMoves = timePass(sN, baseN)
+		if parMoves != row.Moves {
+			return nil, fmt.Errorf("experiment: pipeline nondeterminism at %d clients: %d moves with 1 worker, %d with %d",
+				n, row.Moves, parMoves, report.GoMaxProcs)
+		}
+		if row.Workers1 > 0 {
+			row.SpeedupWorkers1 = float64(row.Legacy) / float64(row.Workers1)
+		}
+		if row.Parallel > 0 {
+			row.SpeedupParallel = float64(row.Legacy) / float64(row.Parallel)
+		}
+		report.Rows = append(report.Rows, row)
+	}
+	return report, nil
+}
+
+// ReassignTable renders the report as text.
+func ReassignTable(rep *ReassignReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Reassignment pass: legacy vs pipelined (GOMAXPROCS=%d, %d CPUs, mean of %d)\n",
+		rep.GoMaxProcs, rep.NumCPU, rep.Repeats)
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "clients\tservers\tlegacy\tworkers=1\tworkers=max\tspeedup(1)\tspeedup(max)\tmoves")
+	for _, r := range rep.Rows {
+		fmt.Fprintf(w, "%d\t%d\t%s\t%s\t%s\t%.2fx\t%.2fx\t%d\n",
+			r.Clients, r.Servers,
+			r.Legacy.Round(time.Microsecond),
+			r.Workers1.Round(time.Microsecond),
+			r.Parallel.Round(time.Microsecond),
+			r.SpeedupWorkers1, r.SpeedupParallel, r.Moves)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// WriteReassignJSON writes the machine-readable report.
+func WriteReassignJSON(w io.Writer, rep *ReassignReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -21,6 +21,25 @@ var ErrNoFeasibleCombination = errors.New("opt: no feasible portion combination"
 // are infeasible. values[s][0] must be 0 for "route nothing" to be free.
 // Returns the best value and the chosen grid units per candidate.
 func CombinePortions(values [][]float64, total int) (float64, []int, error) {
+	return combinePortions(values, total, nil)
+}
+
+// PortionScratch holds the working arrays of a CombinePortions run so a
+// hot caller (the reassignment scoring pool prices every client against
+// every cluster) can reuse them across calls. The units slice returned
+// by Combine aliases the scratch and is only valid until the next call.
+type PortionScratch struct {
+	dp, next []float64
+	choice   []int16 // flat len(values)×(total+1) back-pointer matrix
+	units    []int
+}
+
+// Combine is CombinePortions evaluated in this scratch's buffers.
+func (ps *PortionScratch) Combine(values [][]float64, total int) (float64, []int, error) {
+	return combinePortions(values, total, ps)
+}
+
+func combinePortions(values [][]float64, total int, ps *PortionScratch) (float64, []int, error) {
 	if total < 0 {
 		return 0, nil, errors.New("opt: negative total")
 	}
@@ -31,20 +50,30 @@ func CombinePortions(values [][]float64, total int) (float64, []int, error) {
 		return 0, nil, ErrNoFeasibleCombination
 	}
 	// dp[g] = best value routing g units among candidates seen so far.
-	dp := make([]float64, total+1)
-	next := make([]float64, total+1)
+	// choice[s*(total+1)+g] = units given to candidate s in the best
+	// solution that routes g units among candidates 0..s.
+	var dp, next []float64
+	var choice []int16
+	if ps != nil {
+		dp = grow(ps.dp, total+1)
+		next = grow(ps.next, total+1)
+		choice = grow(ps.choice, len(values)*(total+1))
+		ps.dp, ps.next, ps.choice = dp, next, choice
+	} else {
+		dp = make([]float64, total+1)
+		next = make([]float64, total+1)
+		choice = make([]int16, len(values)*(total+1))
+	}
+	dp[0] = 0
 	for g := 1; g <= total; g++ {
 		dp[g] = NegInf
 	}
-	// choice[s][g] = units given to candidate s in the best solution that
-	// routes g units among candidates 0..s.
-	choice := make([][]int16, len(values))
 
 	for s, vals := range values {
-		choice[s] = make([]int16, total+1)
+		row := choice[s*(total+1) : (s+1)*(total+1)]
 		for g := 0; g <= total; g++ {
 			next[g] = NegInf
-			choice[s][g] = -1
+			row[g] = -1
 		}
 		maxG := len(vals) - 1
 		if maxG > total {
@@ -61,7 +90,7 @@ func CombinePortions(values [][]float64, total int) (float64, []int, error) {
 				}
 				if cand := dp[g] + v; cand > next[g+u] {
 					next[g+u] = cand
-					choice[s][g+u] = int16(u)
+					row[g+u] = int16(u)
 				}
 			}
 		}
@@ -70,10 +99,19 @@ func CombinePortions(values [][]float64, total int) (float64, []int, error) {
 	if dp[total] == NegInf {
 		return 0, nil, ErrNoFeasibleCombination
 	}
-	units := make([]int, len(values))
+	var units []int
+	if ps != nil {
+		units = grow(ps.units, len(values))
+		ps.units = units
+		// The dp/next swap above may have left the slices crossed; keep
+		// the scratch headers pointing at both backing arrays either way.
+		ps.dp, ps.next = dp, next
+	} else {
+		units = make([]int, len(values))
+	}
 	g := total
 	for s := len(values) - 1; s >= 0; s-- {
-		u := int(choice[s][g])
+		u := int(choice[s*(total+1)+g])
 		if u < 0 {
 			return 0, nil, ErrNoFeasibleCombination
 		}
@@ -81,4 +119,13 @@ func CombinePortions(values [][]float64, total int) (float64, []int, error) {
 		g -= u
 	}
 	return dp[total], units, nil
+}
+
+// grow returns buf resliced to n, reallocating only when the capacity is
+// insufficient.
+func grow[T any](buf []T, n int) []T {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]T, n)
 }
