@@ -298,6 +298,60 @@ func BenchmarkSolveProposed(b *testing.B) {
 	}
 }
 
+// BenchmarkSolveMultiStart isolates the solver's multi-start greedy
+// fan-out (local search disabled): 8 seed-split starts, one worker vs
+// all workers. Both arms produce bit-identical solutions; only the
+// wall-clock differs.
+func BenchmarkSolveMultiStart(b *testing.B) {
+	for _, n := range []int{50, 250} {
+		for _, workers := range []int{1, 0} {
+			name := fmt.Sprintf("clients=%d/workers=%d", n, workers)
+			b.Run(name, func(b *testing.B) {
+				scen := benchScenario(b, n, 16)
+				cfg := core.DefaultConfig()
+				cfg.NumInitSolutions = 8
+				cfg.MaxLocalSearchIters = 0
+				cfg.Workers = workers
+				solver, err := core.NewSolver(scen, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := solver.Solve(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkMonteCarlo is the parallel draw loop: per-draw seed-split
+// RNGs, per-worker arena reuse, one worker vs all workers.
+func BenchmarkMonteCarlo(b *testing.B) {
+	for _, n := range []int{50, 250} {
+		for _, workers := range []int{1, 0} {
+			name := fmt.Sprintf("clients=%d/workers=%d", n, workers)
+			b.Run(name, func(b *testing.B) {
+				scen := benchScenario(b, n, 17)
+				cfg := baseline.DefaultMCConfig()
+				cfg.Draws = 16
+				cfg.MaxSearchPasses = 3
+				cfg.Workers = workers
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := baseline.RunMonteCarlo(scen, cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkModifiedPS is the baseline's cost per solve.
 func BenchmarkModifiedPS(b *testing.B) {
 	scen := benchScenario(b, 100, 10)

@@ -170,9 +170,13 @@ func WithParallel(on bool) Option {
 	return optionFunc(func(c *core.Config) { c.Parallel = on })
 }
 
-// WithWorkers sizes the reassignment pass's scoring worker pool: 0 (the
-// default) uses GOMAXPROCS, 1 scores sequentially. The committed moves
-// are identical for every worker count; only wall-clock time changes.
+// WithWorkers sizes the solver's fan-out worker pools — the multi-start
+// greedy phase and the reassignment pass's scoring stage: 0 (the
+// default) uses GOMAXPROCS, 1 runs sequentially. Results are
+// bit-identical for every worker count (each greedy start draws from
+// its own seed-split RNG stream); only wall-clock time changes. The
+// baselines have matching knobs: MCConfig.Workers fans out Monte-Carlo
+// draws and PSConfig.Workers the active-fraction sweep.
 func WithWorkers(n int) Option {
 	return optionFunc(func(c *core.Config) { c.Workers = n })
 }

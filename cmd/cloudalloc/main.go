@@ -88,6 +88,7 @@ func runSolve(args []string) error {
 		method   = fs.String("method", "proposed", "proposed, ps, montecarlo, annealing, genetic or exhaustive")
 		seed     = fs.Int64("seed", 1, "solver seed")
 		parallel = fs.Bool("parallel", false, "parallel per-cluster evaluation")
+		workers  = fs.Int("workers", 0, "fan-out workers for multi-start, Monte-Carlo draws and the PS sweep (0 = GOMAXPROCS, 1 = sequential; results are identical either way)")
 		draws    = fs.Int("draws", 200, "Monte-Carlo draws")
 		simulate = fs.Bool("simulate", false, "validate the result with the discrete-event simulator")
 		save     = fs.String("save", "", "write the resulting allocation to this JSON file")
@@ -112,7 +113,8 @@ func runSolve(args []string) error {
 	switch *method {
 	case "proposed":
 		al, err := cloudalloc.NewAllocator(scen, cloudalloc.WithSeed(*seed),
-			cloudalloc.WithParallel(*parallel), cloudalloc.WithTelemetry(tel))
+			cloudalloc.WithParallel(*parallel), cloudalloc.WithWorkers(*workers),
+			cloudalloc.WithTelemetry(tel))
 		if err != nil {
 			return err
 		}
@@ -124,7 +126,9 @@ func runSolve(args []string) error {
 		fmt.Printf("proposed: initial %.2f → final %.2f in %d local-search iters (%s)\n",
 			stats.InitialProfit, stats.FinalProfit, stats.LocalSearchIters, stats.Elapsed)
 	case "ps":
-		a, err = cloudalloc.SolveModifiedPS(scen, cloudalloc.DefaultPSConfig())
+		psCfg := cloudalloc.DefaultPSConfig()
+		psCfg.Workers = *workers
+		a, err = cloudalloc.SolveModifiedPS(scen, psCfg)
 		if err != nil {
 			return err
 		}
@@ -132,6 +136,7 @@ func runSolve(args []string) error {
 		cfg := cloudalloc.DefaultMCConfig()
 		cfg.Draws = *draws
 		cfg.Seed = *seed
+		cfg.Workers = *workers
 		env, err := cloudalloc.RunMonteCarlo(scen, cfg)
 		if err != nil {
 			return err

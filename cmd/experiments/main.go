@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments -run fig4|fig5|complexity|sim|ablation|reassign|all [-quick] [-seed 1]
+//	experiments -run fig4|fig5|complexity|sim|ablation|reassign|multistart|all [-quick] [-seed 1]
 //
 // -quick reduces scenario and Monte-Carlo draw counts for a fast run;
 // without it the sweep uses the paper's counts (≥20 scenarios per point,
@@ -29,8 +29,9 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		which     = fs.String("run", "all", "fig4, fig5, complexity, sim, ablation, comparators, epochs, predictors, reassign or all")
+		which     = fs.String("run", "all", "fig4, fig5, complexity, sim, ablation, comparators, epochs, predictors, reassign, multistart or all")
 		benchOut  = fs.String("bench-out", "BENCH_reassign.json", "output path for the reassign benchmark record (empty = don't write)")
+		msOut     = fs.String("multistart-out", "BENCH_multistart.json", "output path for the multistart benchmark record (empty = don't write)")
 		quick     = fs.Bool("quick", false, "reduced scenario/draw counts")
 		seed      = fs.Int64("seed", 1, "base seed")
 		draws     = fs.Int("draws", 0, "override Monte-Carlo draws per scenario (0 = mode default)")
@@ -90,6 +91,8 @@ func run(args []string) error {
 		return runPredictors(*quick, *seed, tel)
 	case "reassign":
 		return runReassign(*quick, *seed, tel, *benchOut)
+	case "multistart":
+		return runMultistart(*quick, *seed, tel, *msOut)
 	case "all":
 		fmt.Println(experiment.Fig4Table(sweepPoints))
 		fmt.Println(experiment.Fig4Chart(sweepPoints))
@@ -113,7 +116,10 @@ func run(args []string) error {
 		if err := runPredictors(*quick, *seed, tel); err != nil {
 			return err
 		}
-		return runReassign(*quick, *seed, tel, *benchOut)
+		if err := runReassign(*quick, *seed, tel, *benchOut); err != nil {
+			return err
+		}
+		return runMultistart(*quick, *seed, tel, *msOut)
 	default:
 		return fmt.Errorf("unknown experiment %q", *which)
 	}
@@ -247,6 +253,35 @@ func runReassign(quick bool, seed int64, tel *telemetry.Set, out string) error {
 	}
 	defer f.Close()
 	if err := experiment.WriteReassignJSON(f, rep); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return f.Close()
+}
+
+func runMultistart(quick bool, seed int64, tel *telemetry.Set, out string) error {
+	cfg := experiment.DefaultMultistartConfig()
+	cfg.BaseSeed = seed
+	cfg.Solver.Telemetry = tel
+	if quick {
+		cfg.ClientCounts = []int{50}
+		cfg.MCDraws = 16
+		cfg.Repeats = 2
+	}
+	rep, err := experiment.RunMultistart(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiment.MultistartTable(rep))
+	if out == "" {
+		return nil
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := experiment.WriteMultistartJSON(f, rep); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s\n", out)

@@ -1,0 +1,49 @@
+package alloc
+
+// Reset returns the allocation to the empty state — every client
+// unassigned, every server back to its pre-allocated shares, the profit
+// ledger zeroed — while keeping the allocated arenas (slices, per-server
+// client maps, ledger dirty lists) for reuse. Fan-out workers recycle
+// one allocation across greedy starts and Monte-Carlo draws this way
+// instead of paying a fresh New per task.
+//
+// Every cluster's version counter is bumped: a reset is a mutation, so
+// version-based caches (the reassignment pass's cross-pass skip marks)
+// must observe that nothing they priced survives. Versions only grow
+// here and in Assign/Unassign, and a transaction's rollback can only
+// restore counters captured after any earlier reset, so a stale-mark
+// check can never see a pre-reset value again.
+func (a *Allocation) Reset() {
+	for i := range a.clusterOf {
+		a.clusterOf[i] = Unassigned
+		a.portions[i] = nil
+		a.clientRev[i] = 0
+		a.clientServed[i] = false
+		a.clientSat[i] = false
+		a.clientDirty[i] = false
+	}
+	for j := range a.servers {
+		srv := &a.scen.Cloud.Servers[j]
+		st := &a.servers[j]
+		st.procShare = srv.PreProcShare
+		st.commShare = srv.PreCommShare
+		st.disk = srv.PreDisk
+		st.procLoad = 0
+		clear(st.clients)
+		a.serverCost[j] = 0
+		a.serverOn[j] = false
+		a.serverDirty[j] = false
+	}
+	for k := range a.ledgers {
+		led := &a.ledgers[k]
+		led.rev = kahanSum{}
+		led.cost = kahanSum{}
+		led.served = 0
+		led.saturated = 0
+		led.active = 0
+		led.assigned = 0
+		led.dirtyClients = led.dirtyClients[:0]
+		led.dirtyServers = led.dirtyServers[:0]
+		a.clusterVer[k]++
+	}
+}

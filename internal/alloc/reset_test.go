@@ -1,0 +1,97 @@
+package alloc
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// build places both testScenario clients, dirtying every bookkeeping
+// structure Reset must clear.
+func build(t *testing.T, a *Allocation) {
+	t.Helper()
+	if err := a.Assign(0, 0, fullPortion(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Assign(1, 0, fullPortion(1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResetEmptiesAllocation(t *testing.T) {
+	s := testScenario(t)
+	a := New(s)
+	build(t, a)
+	if a.Profit() == 0 {
+		t.Fatal("test build produced zero profit; nothing to reset")
+	}
+
+	a.Reset()
+	if got := a.NumAssigned(); got != 0 {
+		t.Fatalf("NumAssigned = %d after Reset", got)
+	}
+	if got := a.NumActiveServers(); got != 0 {
+		t.Fatalf("NumActiveServers = %d after Reset", got)
+	}
+	if got := a.Profit(); got != 0 {
+		t.Fatalf("Profit = %v after Reset", got)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("Validate after Reset: %v", err)
+	}
+	if n := len(a.Snapshot().Placements); n != 0 {
+		t.Fatalf("%d placements survive Reset", n)
+	}
+}
+
+// TestResetRebuildMatchesFresh: an arena recycled through Reset must be
+// indistinguishable from a fresh New — same profit ledger, same snapshot,
+// consistent incremental bookkeeping. This is what lets fan-out workers
+// reuse one allocation across greedy starts and Monte-Carlo draws.
+func TestResetRebuildMatchesFresh(t *testing.T) {
+	s := testScenario(t)
+	recycled := New(s)
+	build(t, recycled)
+	_ = recycled.Profit() // settle the ledger so Reset must clear it
+	recycled.Reset()
+	build(t, recycled)
+
+	fresh := New(s)
+	build(t, fresh)
+
+	if rp, fp := recycled.Profit(), fresh.Profit(); rp != fp {
+		t.Fatalf("recycled profit %v != fresh profit %v", rp, fp)
+	}
+	if !reflect.DeepEqual(recycled.Snapshot(), fresh.Snapshot()) {
+		t.Fatal("recycled snapshot differs from fresh")
+	}
+	rb, fb := recycled.ProfitBreakdown(), fresh.ProfitBreakdown()
+	if math.Abs(rb.Revenue-fb.Revenue) != 0 || math.Abs(rb.EnergyCost-fb.EnergyCost) != 0 {
+		t.Fatalf("breakdowns differ: recycled %+v fresh %+v", rb, fb)
+	}
+	if err := recycled.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestResetBumpsClusterVersions: Reset is a mutation, so version-keyed
+// caches (the reassignment pass's cross-pass marks) must see every
+// cluster change. Versions must grow, never restart.
+func TestResetBumpsClusterVersions(t *testing.T) {
+	s := testScenario(t)
+	a := New(s)
+	build(t, a)
+	before := make([]uint64, s.Cloud.NumClusters())
+	for k := range before {
+		before[k] = a.ClusterVersion(model.ClusterID(k))
+	}
+	a.Reset()
+	for k := range before {
+		after := a.ClusterVersion(model.ClusterID(k))
+		if after <= before[k] {
+			t.Errorf("cluster %d: version %d -> %d, want strictly greater", k, before[k], after)
+		}
+	}
+}

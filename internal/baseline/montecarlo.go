@@ -9,6 +9,7 @@ import (
 	"repro/internal/alloc"
 	"repro/internal/core"
 	"repro/internal/model"
+	"repro/internal/parallel"
 )
 
 // MCConfig tunes the Monte-Carlo envelope.
@@ -16,11 +17,17 @@ type MCConfig struct {
 	// Draws is the number of random solutions to generate (the paper uses
 	// at least 10,000 per scenario).
 	Draws int
-	// Seed drives the random assignments.
+	// Seed drives the random assignments. Each draw derives its own RNG
+	// stream by seed-splitting (internal/parallel), so the envelope is
+	// identical for every worker count.
 	Seed int64
 	// MaxSearchPasses bounds the per-draw client-reassignment local
 	// search ("repeats until no further reassignment is possible").
 	MaxSearchPasses int
+	// Workers bounds the draw fan-out: 0, the default, uses GOMAXPROCS;
+	// 1 draws sequentially. The envelope — every field, including which
+	// draw wins Best — does not depend on the worker count.
+	Workers int
 	// Solver configures the cluster-level resource allocation used for
 	// every random assignment (the paper allocates resources in clusters
 	// "based on the proposed solution").
@@ -56,6 +63,12 @@ type Envelope struct {
 // proposed-solution resource allocation inside each cluster, optimizes
 // each with the client-level reassignment search, and reports the
 // best/worst envelope (paper Section VI, Figures 4 and 5).
+//
+// Draws fan out over a bounded worker pool; each worker recycles one
+// allocation arena across its draws (alloc.Reset) and keeps only its
+// running best under (optimized profit desc, draw index asc). The
+// per-draw profits are folded into the envelope serially in draw order
+// afterwards, so the result is bit-identical for W=1 and W=N.
 func RunMonteCarlo(scen *model.Scenario, cfg MCConfig) (Envelope, error) {
 	if cfg.Draws <= 0 {
 		return Envelope{}, fmt.Errorf("baseline: Draws = %d", cfg.Draws)
@@ -64,32 +77,74 @@ func RunMonteCarlo(scen *model.Scenario, cfg MCConfig) (Envelope, error) {
 	if err != nil {
 		return Envelope{}, err
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	type drawResult struct {
+		initial, optimized float64
+		err                error
+	}
+	type workerBest struct {
+		a      *alloc.Allocation
+		profit float64
+		index  int
+	}
+	n := cfg.Draws
+	workers := parallel.Bound(cfg.Workers, n)
+	results := make([]drawResult, n)
+	curs := make([]*alloc.Allocation, workers)
+	bests := make([]workerBest, workers)
+	parallel.For(parallel.Options{Workers: workers, Tel: cfg.Solver.Telemetry, Phase: "mc_draws"},
+		n, func(w, d int) {
+			a := curs[w]
+			if a == nil {
+				a = alloc.New(scen)
+			} else {
+				a.Reset()
+			}
+			if err := randomAssign(solver, a, parallel.Rand(cfg.Seed, uint64(d))); err != nil {
+				results[d].err = err
+				curs[w] = a
+				return
+			}
+			// First evaluation of a fresh draw settles every ledger entry
+			// (O(clients+servers), unavoidable); the post-search evaluation
+			// below then re-prices only the clients the search actually moved.
+			p0 := a.Profit()
+			ReassignmentSearch(solver, a, cfg.MaxSearchPasses)
+			p1 := a.Profit()
+			results[d] = drawResult{initial: p0, optimized: p1}
+			if b := &bests[w]; b.a == nil || p1 > b.profit || (p1 == b.profit && d < b.index) {
+				curs[w] = b.a
+				*b = workerBest{a: a, profit: p1, index: d}
+			} else {
+				curs[w] = a
+			}
+		})
+
 	env := Envelope{
-		Draws:          cfg.Draws,
+		Draws:          n,
 		BestInitial:    math.Inf(-1),
 		WorstInitial:   math.Inf(1),
 		BestOptimized:  math.Inf(-1),
 		WorstOptimized: math.Inf(1),
 	}
-	for d := 0; d < cfg.Draws; d++ {
-		a, err := RandomAssignment(solver, rng)
-		if err != nil {
-			return Envelope{}, err
+	for d := range results {
+		r := &results[d]
+		if r.err != nil {
+			return Envelope{}, r.err
 		}
-		// First evaluation of a fresh draw settles every ledger entry
-		// (O(clients+servers), unavoidable); the post-search evaluation
-		// below then re-prices only the clients the search actually moved.
-		p0 := a.Profit()
-		env.BestInitial = math.Max(env.BestInitial, p0)
-		env.WorstInitial = math.Min(env.WorstInitial, p0)
-
-		ReassignmentSearch(solver, a, cfg.MaxSearchPasses)
-		p1 := a.Profit()
-		env.WorstOptimized = math.Min(env.WorstOptimized, p1)
-		if p1 > env.BestOptimized {
-			env.BestOptimized = p1
-			env.Best = a
+		env.BestInitial = math.Max(env.BestInitial, r.initial)
+		env.WorstInitial = math.Min(env.WorstInitial, r.initial)
+		env.BestOptimized = math.Max(env.BestOptimized, r.optimized)
+		env.WorstOptimized = math.Min(env.WorstOptimized, r.optimized)
+	}
+	bestProfit, bestIndex := math.Inf(-1), n
+	for w := range bests {
+		b := &bests[w]
+		if b.a == nil {
+			continue
+		}
+		if env.Best == nil || b.profit > bestProfit || (b.profit == bestProfit && b.index < bestIndex) {
+			env.Best, bestProfit, bestIndex = b.a, b.profit, b.index
 		}
 	}
 	return env, nil
@@ -99,8 +154,17 @@ func RunMonteCarlo(scen *model.Scenario, cfg MCConfig) (Envelope, error) {
 // (falling back to the remaining clusters in random order when the drawn
 // one cannot host it) with the proposed cluster-level resource allocation.
 func RandomAssignment(solver *core.Solver, rng *rand.Rand) (*alloc.Allocation, error) {
+	a := alloc.New(solver.Scenario())
+	if err := randomAssign(solver, a, rng); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// randomAssign fills an empty (fresh or Reset) allocation with one
+// random draw.
+func randomAssign(solver *core.Solver, a *alloc.Allocation, rng *rand.Rand) error {
 	scen := solver.Scenario()
-	a := alloc.New(scen)
 	numK := scen.Cloud.NumClusters()
 	for _, ci := range rng.Perm(scen.NumClients()) {
 		i := model.ClientID(ci)
@@ -110,14 +174,14 @@ func RandomAssignment(solver *core.Solver, rng *rand.Rand) (*alloc.Allocation, e
 				if errors.Is(err, core.ErrCannotPlace) {
 					continue
 				}
-				return nil, err
+				return err
 			}
 			if err := a.Assign(i, model.ClusterID(k), portions); err == nil {
 				break
 			}
 		}
 	}
-	return a, nil
+	return nil
 }
 
 // ReassignmentSearch is the client-level local search used on random

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/model"
+	"repro/internal/parallel"
 )
 
 // PSConfig tunes the modified Proportional Share baseline.
@@ -25,6 +26,10 @@ type PSConfig struct {
 	// Headroom multiplies the stability floor when sizing each client's
 	// minimum capacity.
 	Headroom float64
+	// Workers bounds the sweep fan-out over ActiveFractions: 0, the
+	// default, uses GOMAXPROCS; 1 sweeps sequentially. The winning
+	// setting does not depend on the worker count.
+	Workers int
 }
 
 // DefaultPSConfig returns the defaults used in the experiments.
@@ -56,28 +61,60 @@ func SolveModifiedPS(scen *model.Scenario, cfg PSConfig) (*alloc.Allocation, err
 	if cfg.Headroom <= 1 {
 		return nil, fmt.Errorf("baseline: headroom %v must exceed 1", cfg.Headroom)
 	}
-	var (
-		best       *alloc.Allocation
-		bestProfit = math.Inf(-1)
-	)
 	for _, f := range cfg.ActiveFractions {
 		if f <= 0 || f > 1 {
 			return nil, fmt.Errorf("baseline: active fraction %v outside (0,1]", f)
 		}
-		// Each sweep setting builds its own allocation, so this first
-		// Profit() settles the whole ledger once per attempt; any later
-		// re-evaluation of the winner is incremental.
-		a := psAttempt(scen, f, cfg.Headroom)
-		if p := a.Profit(); p > bestProfit {
-			best, bestProfit = a, p
+	}
+
+	// The sweep settings are independent; fan them out. Each worker
+	// recycles one allocation arena and keeps its best attempt under
+	// (profit desc, fraction index asc); the global winner under the
+	// same order is the one a sequential sweep would keep, for any
+	// worker count. Each attempt's first Profit() settles its whole
+	// ledger once; any later re-evaluation of the winner is incremental.
+	type workerBest struct {
+		a      *alloc.Allocation
+		profit float64
+		index  int
+	}
+	n := len(cfg.ActiveFractions)
+	workers := parallel.Bound(cfg.Workers, n)
+	curs := make([]*alloc.Allocation, workers)
+	bests := make([]workerBest, workers)
+	parallel.For(parallel.Options{Workers: workers, Phase: "ps_sweep"}, n, func(w, idx int) {
+		a := curs[w]
+		if a == nil {
+			a = alloc.New(scen)
+		} else {
+			a.Reset()
+		}
+		psAttempt(a, scen, cfg.ActiveFractions[idx], cfg.Headroom)
+		p := a.Profit()
+		if b := &bests[w]; b.a == nil || p > b.profit || (p == b.profit && idx < b.index) {
+			curs[w] = b.a
+			*b = workerBest{a: a, profit: p, index: idx}
+		} else {
+			curs[w] = a
+		}
+	})
+	var best *alloc.Allocation
+	bestProfit, bestIndex := math.Inf(-1), n
+	for w := range bests {
+		b := &bests[w]
+		if b.a == nil {
+			continue
+		}
+		if best == nil || b.profit > bestProfit || (b.profit == bestProfit && b.index < bestIndex) {
+			best, bestProfit, bestIndex = b.a, b.profit, b.index
 		}
 	}
 	return best, nil
 }
 
-// psAttempt builds one PS solution with the given active fraction.
-func psAttempt(scen *model.Scenario, fraction, headroom float64) *alloc.Allocation {
-	a := alloc.New(scen)
+// psAttempt builds one PS solution with the given active fraction into
+// an empty (fresh or Reset) allocation.
+func psAttempt(a *alloc.Allocation, scen *model.Scenario, fraction, headroom float64) {
 	active := activeSets(scen, fraction)
 
 	// Virtual-server shares: weight each client by slope × work.
@@ -129,7 +166,6 @@ func psAttempt(scen *model.Scenario, fraction, headroom float64) *alloc.Allocati
 			}
 		}
 	}
-	return a
 }
 
 // activeSets returns, per cluster, the servers kept active: the top

@@ -283,35 +283,28 @@ func (m *Manager) initialPass(rng *rand.Rand) (map[model.ClientID]assignment, fl
 		}
 	}
 	assignments := make(map[model.ClientID]assignment, m.scen.NumClients())
+	var heap bidHeap
 	for _, ci := range rng.Perm(m.scen.NumClients()) {
 		id := model.ClientID(ci)
 		bids, err := m.broadcastEvaluate(id)
 		if err != nil {
 			return nil, 0, err
 		}
-		bestK := -1
+		// Feasible bids go into a max-heap on (Est desc, cluster asc),
+		// so a commit retry pops the runner-up in O(log K) instead of
+		// re-scanning all K bids per rejected cluster.
+		heap = heap[:0]
 		for k, bid := range bids {
-			if !bid.Feasible {
-				continue
-			}
-			if bestK == -1 || bid.Est > bids[bestK].Est {
-				bestK = k
+			if bid.Feasible {
+				heap = heap.push(bidRef{est: bid.Est, k: k})
 			}
 		}
-		for bestK != -1 {
-			if err := m.agents[bestK].Commit(id, bids[bestK].Portions); err == nil {
-				assignments[id] = assignment{cluster: model.ClusterID(bestK), portions: bids[bestK].Portions}
+		for len(heap) > 0 {
+			var top bidRef
+			heap, top = heap.pop()
+			if err := m.agents[top.k].Commit(id, bids[top.k].Portions); err == nil {
+				assignments[id] = assignment{cluster: model.ClusterID(top.k), portions: bids[top.k].Portions}
 				break
-			}
-			bids[bestK].Feasible = false
-			bestK = -1
-			for k, bid := range bids {
-				if !bid.Feasible {
-					continue
-				}
-				if bestK == -1 || bid.Est > bids[bestK].Est {
-					bestK = k
-				}
 			}
 		}
 	}
@@ -320,6 +313,62 @@ func (m *Manager) initialPass(rng *rand.Rand) (map[model.ClientID]assignment, fl
 		return nil, 0, err
 	}
 	return assignments, profit, nil
+}
+
+// bidRef is one feasible cluster bid in the initial pass's commit heap.
+type bidRef struct {
+	est float64
+	k   int
+}
+
+// bidBefore orders the heap: higher estimate first, lower cluster index
+// on ties — the order the former linear rescan selected.
+func bidBefore(x, y bidRef) bool {
+	if x.est != y.est {
+		return x.est > y.est
+	}
+	return x.k < y.k
+}
+
+// bidHeap is a binary max-heap on a recycled slice.
+type bidHeap []bidRef
+
+func (h bidHeap) push(b bidRef) bidHeap {
+	h = append(h, b)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !bidBefore(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	return h
+}
+
+func (h bidHeap) pop() (bidHeap, bidRef) {
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		next := i
+		if l < len(h) && bidBefore(h[l], h[next]) {
+			next = l
+		}
+		if r < len(h) && bidBefore(h[r], h[next]) {
+			next = r
+		}
+		if next == i {
+			break
+		}
+		h[i], h[next] = h[next], h[i]
+		i = next
+	}
+	return h, top
 }
 
 // broadcastEvaluate collects all agents' bids for a client in parallel —
@@ -342,24 +391,39 @@ func (m *Manager) broadcastEvaluate(id model.ClientID) ([]EvalResult, error) {
 	return bids, nil
 }
 
-// load resets the agents and replays an assignment map into them.
+// load resets the agents and replays an assignment map into them. Each
+// agent only sees its own cluster's clients, so the replays are grouped
+// per cluster (in client-ID order within each group, for deterministic
+// agent-side state) and run concurrently, one goroutine per agent —
+// the same fan-out shape as broadcastEvaluate.
 func (m *Manager) load(assignments map[model.ClientID]assignment) error {
-	for _, ag := range m.agents {
-		if err := ag.Reset(); err != nil {
-			return fmt.Errorf("cluster: reset: %w", err)
-		}
-	}
+	groups := make([][]model.ClientID, len(m.agents))
 	for i := 0; i < m.scen.NumClients(); i++ {
 		id := model.ClientID(i)
-		as, ok := assignments[id]
-		if !ok {
-			continue
-		}
-		if err := m.agents[as.cluster].Commit(id, as.portions); err != nil {
-			return fmt.Errorf("cluster: replay client %d: %w", id, err)
+		if as, ok := assignments[id]; ok {
+			groups[as.cluster] = append(groups[as.cluster], id)
 		}
 	}
-	return nil
+	errs := make([]error, len(m.agents))
+	var wg sync.WaitGroup
+	for k := range m.agents {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			if err := m.agents[k].Reset(); err != nil {
+				errs[k] = fmt.Errorf("cluster: reset: %w", err)
+				return
+			}
+			for _, id := range groups[k] {
+				if err := m.agents[k].Commit(id, assignments[id].portions); err != nil {
+					errs[k] = fmt.Errorf("cluster: replay client %d: %w", id, err)
+					return
+				}
+			}
+		}(k)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
 }
 
 // improveRound runs one Improve on every agent in parallel and returns
@@ -393,14 +457,31 @@ func (m *Manager) improveRound(stats *ManagerStats) (float64, error) {
 
 // totalProfit sums the agents' cluster profits. Each agent answers from
 // its allocation's incremental ledger, so a round's total costs
-// O(mutations since the previous round), not O(cloud).
+// O(mutations since the previous round), not O(cloud). The queries fan
+// out one goroutine per agent; the sum folds in fixed agent order, so
+// the floating-point total is independent of scheduling.
 func (m *Manager) totalProfit() (float64, error) {
+	profits := make([]float64, len(m.agents))
+	errs := make([]error, len(m.agents))
+	var wg sync.WaitGroup
+	for k := range m.agents {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			p, err := m.agents[k].Profit()
+			if err != nil {
+				errs[k] = fmt.Errorf("cluster: profit of cluster %d: %w", k, err)
+				return
+			}
+			profits[k] = p
+		}(k)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return 0, err
+	}
 	var total float64
-	for k, ag := range m.agents {
-		p, err := ag.Profit()
-		if err != nil {
-			return 0, fmt.Errorf("cluster: profit of cluster %d: %w", k, err)
-		}
+	for _, p := range profits {
 		total += p
 	}
 	return total, nil

@@ -36,10 +36,13 @@ type Config struct {
 	// by the greedy share formula. >1 reserves more headroom for future
 	// clients; <1 is more generous to the client being placed.
 	ShadowPriceScale float64
-	// Workers bounds the scoring worker pool of the pipelined
-	// reassignment pass (reassign.go): 0, the default, uses
-	// runtime.GOMAXPROCS; 1 scores sequentially. The committed moves are
-	// identical for every worker count.
+	// Workers bounds the solver's fan-out worker pools: the multi-start
+	// greedy phase (solver.go, internal/parallel) and the scoring stage
+	// of the pipelined reassignment pass (reassign.go). 0, the default,
+	// uses runtime.GOMAXPROCS; 1 runs sequentially. Results are
+	// bit-identical for every worker count: each greedy start draws from
+	// its own seed-split RNG stream and the winner is reduced under a
+	// fixed total order (profit, then start index).
 	Workers int
 	// DisableParallelReassign falls back to the legacy strictly
 	// sequential reassignment pass — score and commit one client at a

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/model"
+	"repro/internal/parallel"
 )
 
 // Solver runs the Resource_Alloc heuristic on one scenario. A Solver is
@@ -66,9 +67,16 @@ func (s *Solver) Scenario() *model.Scenario { return s.scen }
 
 // Solve runs the full heuristic: multi-start greedy initial solutions,
 // then local search on the best one (paper Figure 3).
+//
+// The greedy starts fan out over a bounded worker pool (Config.Workers).
+// Each start derives its own RNG by seed-splitting from Config.Seed —
+// start i sees the same random client order at any worker count — and
+// the winner is reduced under the total order (profit descending, start
+// index ascending), so the solve is bit-identical for W=1 and W=N. Each
+// worker recycles one allocation arena across its starts (alloc.Reset),
+// keeping only its running best.
 func (s *Solver) Solve() (*alloc.Allocation, Stats, error) {
 	start := time.Now()
-	rng := rand.New(rand.NewSource(s.cfg.Seed))
 	sp := s.tel.start("solver.solve")
 	sp.Attr("clients", s.scen.NumClients())
 	sp.Attr("clusters", s.scen.Cloud.NumClusters())
@@ -77,25 +85,20 @@ func (s *Solver) Solve() (*alloc.Allocation, Stats, error) {
 	}
 
 	gsp := s.tel.start("solver.greedy")
-	var (
-		best       *alloc.Allocation
-		bestProfit float64
-	)
-	for iter := 0; iter < s.cfg.NumInitSolutions; iter++ {
-		a, err := s.InitialSolution(rng)
-		if err != nil {
-			return nil, Stats{}, err
-		}
-		if p := a.Profit(); best == nil || p > bestProfit {
-			best, bestProfit = a, p
-		}
+	tGreedy := time.Now()
+	best, bestProfit, err := s.multiStart()
+	if err != nil {
+		return nil, Stats{}, err
 	}
 	if s.tel != nil {
-		s.tel.greedyDur.ObserveSince(start)
+		s.tel.greedyDur.ObserveSince(tGreedy)
 		gsp.Attr("initial_profit", bestProfit)
 		gsp.Attr("starts", s.cfg.NumInitSolutions)
 	}
 	gsp.End()
+	if best == nil {
+		return nil, Stats{}, errors.New("core: no initial solution produced")
+	}
 
 	stats := Stats{InitialProfit: bestProfit}
 	s.ImproveLocal(best, &stats)
@@ -111,6 +114,68 @@ func (s *Solver) Solve() (*alloc.Allocation, Stats, error) {
 	return best, stats, nil
 }
 
+// multiStart runs the NumInitSolutions greedy starts on the fan-out
+// engine and returns the winner under (profit desc, start index asc).
+func (s *Solver) multiStart() (*alloc.Allocation, float64, error) {
+	n := s.cfg.NumInitSolutions
+	workers := parallel.Bound(s.cfg.Workers, n)
+	// Per-worker state: cur is the recycled arena for the next start,
+	// best the worker's winner so far under the global total order.
+	type workerBest struct {
+		a      *alloc.Allocation
+		profit float64
+		index  int
+	}
+	curs := make([]*alloc.Allocation, workers)
+	bests := make([]workerBest, workers)
+	errs := make([]error, n)
+	opts := parallel.Options{Workers: workers, Phase: "multistart"}
+	if s.tel != nil {
+		opts.Tel = s.tel.set
+	}
+	parallel.For(opts, n, func(w, iter int) {
+		a := curs[w]
+		if a == nil {
+			a = alloc.New(s.scen)
+			if s.tel != nil {
+				a.Instrument(s.tel.set)
+			}
+		} else {
+			a.Reset()
+		}
+		if err := s.buildInitial(a, parallel.Rand(s.cfg.Seed, uint64(iter))); err != nil {
+			errs[iter] = err
+			curs[w] = a
+			return
+		}
+		p := a.Profit()
+		if b := &bests[w]; b.a == nil || p > b.profit || (p == b.profit && iter < b.index) {
+			curs[w] = b.a
+			*b = workerBest{a: a, profit: p, index: iter}
+		} else {
+			curs[w] = a
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	var best *alloc.Allocation
+	var bestProfit float64
+	bestIndex := n
+	for w := range bests {
+		b := &bests[w]
+		if b.a == nil {
+			continue
+		}
+		if best == nil || b.profit > bestProfit || (b.profit == bestProfit && b.index < bestIndex) {
+			best, bestProfit, bestIndex = b.a, b.profit, b.index
+		}
+	}
+	return best, bestProfit, nil
+}
+
 // InitialSolution builds one greedy solution: clients in random order,
 // each placed on the cluster whose Assign_Distribute promises the highest
 // approximate profit. Clients that fit nowhere stay unassigned (the paper
@@ -120,14 +185,23 @@ func (s *Solver) InitialSolution(rng *rand.Rand) (*alloc.Allocation, error) {
 	if s.tel != nil {
 		a.Instrument(s.tel.set)
 	}
+	if err := s.buildInitial(a, rng); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// buildInitial runs one greedy pass into an empty (fresh or Reset)
+// allocation.
+func (s *Solver) buildInitial(a *alloc.Allocation, rng *rand.Rand) error {
 	order := rng.Perm(s.scen.NumClients())
 	for _, ci := range order {
 		i := model.ClientID(ci)
 		if err := s.placeBest(a, i); err != nil && !errors.Is(err, ErrCannotPlace) {
-			return nil, err
+			return err
 		}
 	}
-	return a, nil
+	return nil
 }
 
 // placeBest assigns client i to its most profitable cluster; returns

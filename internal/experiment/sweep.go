@@ -8,11 +8,10 @@ package experiment
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/parallel"
 	"repro/internal/workload"
 )
 
@@ -41,7 +40,9 @@ type SweepConfig struct {
 	Solver core.Config
 	// PS configures the modified Proportional Share baseline.
 	PS baseline.PSConfig
-	// Workers bounds scenario-level parallelism (0 = NumCPU).
+	// Workers bounds scenario-level parallelism (0 = GOMAXPROCS). The
+	// sweep's results and error reporting are identical for every
+	// worker count.
 	Workers int
 }
 
@@ -119,37 +120,22 @@ func RunSweep(cfg SweepConfig) ([]SweepPoint, error) {
 		}
 	}
 
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-	var (
-		wg    sync.WaitGroup
-		errMu sync.Mutex
-		first error
-	)
-	sem := make(chan struct{}, workers)
-	for _, jb := range jobs {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(jb job) {
-			defer wg.Done()
-			defer func() { <-sem }()
+	// Scenario jobs fan out over the shared engine. Each job writes its
+	// own (point, slot) cell and every job runs even when another fails,
+	// so the sweep's output — including which error is reported, the
+	// lowest-indexed one — does not depend on the worker count.
+	err := parallel.ForErr(parallel.Options{Workers: cfg.Workers, Tel: cfg.Solver.Telemetry, Phase: "sweep"},
+		len(jobs), func(_, idx int) error {
+			jb := jobs[idx]
 			st, err := runScenario(cfg, jb.clients, jb.seed)
 			if err != nil {
-				errMu.Lock()
-				if first == nil {
-					first = fmt.Errorf("experiment: clients=%d seed=%d: %w", jb.clients, jb.seed, err)
-				}
-				errMu.Unlock()
-				return
+				return fmt.Errorf("experiment: clients=%d seed=%d: %w", jb.clients, jb.seed, err)
 			}
 			points[jb.point].Stats[jb.slot] = st
-		}(jb)
-	}
-	wg.Wait()
-	if first != nil {
-		return nil, first
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	return points, nil
 }

@@ -1,0 +1,32 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSweepWorkerEquivalence: RunSweep's scenario fan-out must produce
+// byte-for-byte identical points at any worker count — each job writes
+// its own (point, slot) cell and all per-job randomness is seeded from
+// the job itself. Run under -race in CI.
+func TestSweepWorkerEquivalence(t *testing.T) {
+	run := func(workers int) []SweepPoint {
+		cfg := DefaultSweepConfig()
+		cfg.ClientCounts = []int{8, 15}
+		cfg.ScenariosPerCount = 3
+		cfg.ScenariosAtMaxCount = 2
+		cfg.MCDraws = 10
+		cfg.MCPasses = 2
+		cfg.Workers = workers
+		points, err := RunSweep(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return points
+	}
+	ref := run(1)
+	got := run(4)
+	if !reflect.DeepEqual(got, ref) {
+		t.Fatalf("sweep results differ between W=1 and W=4:\nW=1: %+v\nW=4: %+v", ref, got)
+	}
+}
