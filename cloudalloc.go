@@ -181,6 +181,27 @@ func WithWorkers(n int) Option {
 	return optionFunc(func(c *core.Config) { c.Workers = n })
 }
 
+// WithCandidateClusters enables index-pruned candidate generation: the
+// greedy placement and reassignment phases rank clusters by a provable
+// upper bound on the client's placement gain and evaluate only the top
+// k exactly, pruning the rest. 0 (the default) keeps the exhaustive
+// scan; k >= the cluster count reproduces it bit-for-bit. Small k makes
+// per-client work O(k) instead of O(clusters) at a sub-percent profit
+// cost on paper-sized instances.
+func WithCandidateClusters(k int) Option {
+	return optionFunc(func(c *core.Config) { c.CandidateClusters = k })
+}
+
+// WithShards partitions the clusters across n independent shards that
+// build and improve the solution in parallel, with a serial cross-shard
+// reconciliation pass between rounds. Sharding changes the search
+// trajectory (it is deterministic at any worker count, but not
+// equivalent to the unsharded solve); use it for very large instances
+// where whole-cloud passes are too slow. 0 or 1 disables sharding.
+func WithShards(n int) Option {
+	return optionFunc(func(c *core.Config) { c.Shards = n })
+}
+
 // WithLocalSearchBudget bounds the improvement loop.
 func WithLocalSearchBudget(iters int) Option {
 	return optionFunc(func(c *core.Config) { c.MaxLocalSearchIters = iters })

@@ -90,6 +90,8 @@ func runSolve(args []string) error {
 		parallel = fs.Bool("parallel", false, "parallel per-cluster evaluation")
 		workers  = fs.Int("workers", 0, "fan-out workers for multi-start, Monte-Carlo draws and the PS sweep (0 = GOMAXPROCS, 1 = sequential; results are identical either way)")
 		draws    = fs.Int("draws", 200, "Monte-Carlo draws")
+		topk     = fs.Int("topk", 0, "proposed: evaluate only the top-k index-ranked clusters per client (0 = exhaustive scan)")
+		shards   = fs.Int("shards", 0, "proposed: partition clusters across this many parallel shards (0/1 = unsharded)")
 		simulate = fs.Bool("simulate", false, "validate the result with the discrete-event simulator")
 		save     = fs.String("save", "", "write the resulting allocation to this JSON file")
 		metrics  = fs.Bool("metrics", false, "collect solver/simulator telemetry and dump it (Prometheus text) to stderr")
@@ -114,6 +116,7 @@ func runSolve(args []string) error {
 	case "proposed":
 		al, err := cloudalloc.NewAllocator(scen, cloudalloc.WithSeed(*seed),
 			cloudalloc.WithParallel(*parallel), cloudalloc.WithWorkers(*workers),
+			cloudalloc.WithCandidateClusters(*topk), cloudalloc.WithShards(*shards),
 			cloudalloc.WithTelemetry(tel))
 		if err != nil {
 			return err

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments -run fig4|fig5|complexity|sim|ablation|reassign|multistart|all [-quick] [-seed 1]
+//	experiments -run fig4|fig5|complexity|sim|ablation|reassign|multistart|scale|all [-quick] [-seed 1]
 //
 // -quick reduces scenario and Monte-Carlo draw counts for a fast run;
 // without it the sweep uses the paper's counts (≥20 scenarios per point,
@@ -29,9 +29,11 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		which     = fs.String("run", "all", "fig4, fig5, complexity, sim, ablation, comparators, epochs, predictors, reassign, multistart or all")
+		which     = fs.String("run", "all", "fig4, fig5, complexity, sim, ablation, comparators, epochs, predictors, reassign, multistart, scale or all")
 		benchOut  = fs.String("bench-out", "BENCH_reassign.json", "output path for the reassign benchmark record (empty = don't write)")
 		msOut     = fs.String("multistart-out", "BENCH_multistart.json", "output path for the multistart benchmark record (empty = don't write)")
+		scaleOut  = fs.String("scale-out", "BENCH_scale.json", "output path for the scale benchmark record (empty = don't write)")
+		scaleMax  = fs.Int("scale-max", 0, "cap the scale ladder's client counts (0 = full 1k..1M ladder)")
 		quick     = fs.Bool("quick", false, "reduced scenario/draw counts")
 		seed      = fs.Int64("seed", 1, "base seed")
 		draws     = fs.Int("draws", 0, "override Monte-Carlo draws per scenario (0 = mode default)")
@@ -93,6 +95,8 @@ func run(args []string) error {
 		return runReassign(*quick, *seed, tel, *benchOut)
 	case "multistart":
 		return runMultistart(*quick, *seed, tel, *msOut)
+	case "scale":
+		return runScale(*quick, *seed, *scaleOut, *scaleMax)
 	case "all":
 		fmt.Println(experiment.Fig4Table(sweepPoints))
 		fmt.Println(experiment.Fig4Chart(sweepPoints))
@@ -302,4 +306,41 @@ func runPredictors(quick bool, seed int64, tel *telemetry.Set) error {
 	}
 	fmt.Println(experiment.PredictorTable(rows))
 	return nil
+}
+
+// runScale is deliberately not part of -run all: the full ladder ends at
+// a 1M-client instance and takes minutes even in scale mode.
+func runScale(quick bool, seed int64, out string, maxClients int) error {
+	cfg := experiment.DefaultScaleExpConfig()
+	cfg.BaseSeed = seed
+	if quick {
+		cfg.ClientCounts = []int{1_000, 10_000}
+	}
+	if maxClients > 0 {
+		var counts []int
+		for _, n := range cfg.ClientCounts {
+			if n <= maxClients {
+				counts = append(counts, n)
+			}
+		}
+		cfg.ClientCounts = counts
+	}
+	rep, err := experiment.RunScale(cfg, os.Stderr)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiment.ScaleTable(rep))
+	if out == "" {
+		return nil
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := experiment.WriteScaleJSON(f, rep); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return f.Close()
 }

@@ -135,6 +135,18 @@ func (a *Allocation) ClusterVersionSum() uint64 {
 	return sum
 }
 
+// ClusterVersionSumOf folds the version counters of a subset of clusters
+// — the scoped twin of ClusterVersionSum. Shard-scoped reassignment
+// passes use it so a "did anything I can see change?" check never reads
+// the counters of clusters another shard is mutating concurrently.
+func (a *Allocation) ClusterVersionSumOf(ks []model.ClusterID) uint64 {
+	var sum uint64
+	for _, k := range ks {
+		sum += a.clusterVer[k]
+	}
+	return sum
+}
+
 // Portions returns a copy of client i's portions.
 func (a *Allocation) Portions(i model.ClientID) []Portion {
 	ps := a.portions[i]

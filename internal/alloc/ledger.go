@@ -196,13 +196,18 @@ func (a *Allocation) RecomputeBreakdown() Breakdown {
 
 // ledgerCheck compares the incremental breakdown against a from-scratch
 // recompute; used by Validate. tol bounds the float drift the compensated
-// totals are allowed to accumulate.
+// totals are allowed to accumulate, relative to each total's magnitude
+// (an absolute bound cannot serve both a 50-client paper instance and a
+// 1M-client scale instance whose revenue is seven orders larger).
 func (a *Allocation) ledgerCheck(tol float64) (Breakdown, Breakdown, bool) {
 	inc := a.ProfitBreakdown()
 	full := a.RecomputeBreakdown()
-	ok := math.Abs(inc.Revenue-full.Revenue) <= tol &&
-		math.Abs(inc.EnergyCost-full.EnergyCost) <= tol &&
-		math.Abs(inc.Profit-full.Profit) <= tol &&
+	near := func(x, y float64) bool {
+		return math.Abs(x-y) <= tol*(1+math.Max(math.Abs(x), math.Abs(y)))
+	}
+	ok := near(inc.Revenue, full.Revenue) &&
+		near(inc.EnergyCost, full.EnergyCost) &&
+		near(inc.Profit, full.Profit) &&
 		inc.ActiveServers == full.ActiveServers &&
 		inc.Served == full.Served &&
 		inc.Saturated == full.Saturated &&

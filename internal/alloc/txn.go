@@ -19,16 +19,20 @@ import (
 // their own transaction concurrently — the replacement for the solver's
 // previous ad-hoc undo log plus clone-and-full-recompute profit helpers.
 type Txn struct {
-	a       *Allocation
-	cluster int // scoped cluster, or Unassigned for whole-cloud scope
-	base    float64
-	entries []txnEntry
-	seen    map[model.ClientID]struct{}
+	a *Allocation
+	// clusters is the transaction's scope: nil for the whole cloud, the
+	// touched clusters otherwise (BeginCluster scopes one, BeginClusters
+	// several — the sharded reassignment commit scopes a move's source
+	// and target so it never settles another shard's ledgers).
+	clusters []model.ClusterID
+	base     float64
+	entries  []txnEntry
+	seen     map[model.ClientID]struct{}
 	// verSnap holds the cluster-version counters at Begin — the whole
-	// vector for a whole-cloud scope, the single scoped entry otherwise —
-	// so Rollback can restore them: a rolled-back experiment leaves the
-	// placement state untouched and must not register as a change to the
-	// dirty-cluster tracking (allocation.go ClusterVersion).
+	// vector for a whole-cloud scope, one entry per scoped cluster
+	// otherwise — so Rollback can restore them: a rolled-back experiment
+	// leaves the placement state untouched and must not register as a
+	// change to the dirty-cluster tracking (allocation.go ClusterVersion).
 	verSnap []uint64
 }
 
@@ -45,7 +49,6 @@ type txnEntry struct {
 func (a *Allocation) Begin() *Txn {
 	return &Txn{
 		a:       a,
-		cluster: Unassigned,
 		base:    a.Profit(),
 		seen:    make(map[model.ClientID]struct{}),
 		verSnap: append([]uint64(nil), a.clusterVer...),
@@ -57,13 +60,27 @@ func (a *Allocation) Begin() *Txn {
 // touches no other cluster's ledger. Mutations inside the transaction
 // must stay within cluster k.
 func (a *Allocation) BeginCluster(k model.ClusterID) *Txn {
-	return &Txn{
-		a:       a,
-		cluster: int(k),
-		base:    a.ClusterProfit(k),
-		seen:    make(map[model.ClientID]struct{}),
-		verSnap: []uint64{a.clusterVer[k]},
+	return a.BeginClusters(k)
+}
+
+// BeginClusters opens a transaction scoped to several clusters: Delta
+// measures the summed change of their profit contributions, and the
+// transaction reads and writes no other cluster's ledger or version
+// counter — so per-shard goroutines may each run their own transaction
+// concurrently as long as their scopes are disjoint. Mutations inside
+// the transaction must stay within the scoped clusters.
+func (a *Allocation) BeginClusters(ks ...model.ClusterID) *Txn {
+	t := &Txn{
+		a:        a,
+		clusters: ks,
+		seen:     make(map[model.ClientID]struct{}),
+		verSnap:  make([]uint64, len(ks)),
 	}
+	for idx, k := range ks {
+		t.base += a.ClusterProfit(k)
+		t.verSnap[idx] = a.clusterVer[k]
+	}
+	return t
 }
 
 // Capture snapshots client i's current placement the first time it is
@@ -85,10 +102,14 @@ func (t *Txn) Capture(i model.ClientID) {
 // Delta returns the exact profit change since Begin, evaluated through
 // the incremental ledger: O(touched) per call.
 func (t *Txn) Delta() float64 {
-	if t.cluster == Unassigned {
+	if t.clusters == nil {
 		return t.a.Profit() - t.base
 	}
-	return t.a.ClusterProfit(model.ClusterID(t.cluster)) - t.base
+	var cur float64
+	for _, k := range t.clusters {
+		cur += t.a.ClusterProfit(k)
+	}
+	return cur - t.base
 }
 
 // Commit keeps the mutations and discards the undo entries. The Txn must
@@ -116,10 +137,12 @@ func (t *Txn) Rollback() error {
 	// The replay above restored the placement state exactly; restore the
 	// version counters too, so the speculative mutations do not mark the
 	// scoped clusters as changed.
-	if t.cluster == Unassigned {
+	if t.clusters == nil {
 		copy(t.a.clusterVer, t.verSnap)
 	} else {
-		t.a.clusterVer[t.cluster] = t.verSnap[0]
+		for idx, k := range t.clusters {
+			t.a.clusterVer[k] = t.verSnap[idx]
+		}
 	}
 	t.entries = nil
 	t.seen = nil

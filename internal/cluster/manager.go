@@ -39,6 +39,12 @@ type ManagerConfig struct {
 	// ReassignWorkers sizes the central pass's scoring worker pool
 	// (core.Config.Workers): 0 uses GOMAXPROCS.
 	ReassignWorkers int
+	// ReassignTopK bounds the central pass's candidate generation
+	// (core.Config.CandidateClusters): each client is scored against at
+	// most this many index-ranked clusters instead of the whole cloud.
+	// 0 keeps the exhaustive scan; >= the cluster count is equivalent
+	// to it.
+	ReassignTopK int
 	// Telemetry, when non-nil, instruments the manager: solve/round
 	// spans, round-latency histograms and per-cluster profit gauges.
 	Telemetry *telemetry.Set
@@ -142,7 +148,7 @@ func NewManager(scen *model.Scenario, agents []Agent, cfg ManagerConfig) (*Manag
 		}
 	}
 	if cfg.NumInitSolutions <= 0 || cfg.MaxImproveRounds < 0 || cfg.Tolerance < 0 ||
-		cfg.MaxReassignPasses < 0 || cfg.ReassignWorkers < 0 {
+		cfg.MaxReassignPasses < 0 || cfg.ReassignWorkers < 0 || cfg.ReassignTopK < 0 {
 		return nil, fmt.Errorf("cluster: invalid config %+v", cfg)
 	}
 	m := &Manager{
@@ -154,6 +160,7 @@ func NewManager(scen *model.Scenario, agents []Agent, cfg ManagerConfig) (*Manag
 	if cfg.CentralReassign && cfg.MaxReassignPasses > 0 {
 		ccfg := core.DefaultConfig()
 		ccfg.Workers = cfg.ReassignWorkers
+		ccfg.CandidateClusters = cfg.ReassignTopK
 		ccfg.Telemetry = cfg.Telemetry
 		// The polish only moves clients between clusters; dropping an
 		// already-served client would break the distributed solve's

@@ -1,0 +1,266 @@
+package core
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/alloc"
+	"repro/internal/model"
+)
+
+// Candidate generation for the greedy phase. placeBest dispatches between
+// the exact full scan (placeBestFull — every cluster in scope priced with
+// Assign_Distribute, the seed behaviour, bit-compatible) and the indexed
+// path (placeBestIndexed — the alloc.Index yields the top-k clusters by
+// gain upper bound, which are evaluated exactly in bound order with early
+// exit once no remaining bound can beat the best exact estimate). The
+// pruning is sound because the index bound dominates the Assign_Distribute
+// estimate as well as the exact gain: the DP's revenue term is λ·(Base −
+// Slope·Σα_j d_j) with every portion's tandem delay d_j at least the
+// bound's r_lb, and its cost term is at least the bound's cost floor.
+
+// greedyEval is one exactly-evaluated candidate cluster of the indexed
+// greedy path, with eval-owned (recycled) portions.
+type greedyEval struct {
+	k        model.ClusterID
+	est      float64
+	portions []alloc.Portion
+	ok       bool
+}
+
+// greedyState carries one greedy pass's candidate-generation machinery:
+// the index (nil for the exact path), the cluster scope (nil for the
+// whole cloud — the sharded solve passes its own clusters), recycled
+// buffers, and the index hit/prune counts the owner folds into telemetry
+// when the pass ends.
+type greedyState struct {
+	ix     *alloc.Index
+	subset []model.ClusterID
+	cands  []alloc.Candidate
+	evals  []greedyEval
+	dist   distScratch
+
+	evaluated int64
+	pruned    int64
+}
+
+// newGreedyState builds the candidate-generation state for one greedy
+// pass over allocation a. It returns nil when neither pruning nor a
+// cluster scope is in play — placeBest treats nil as the plain exact
+// whole-cloud scan.
+func (s *Solver) newGreedyState(a *alloc.Allocation, subset []model.ClusterID) *greedyState {
+	limit := s.scen.Cloud.NumClusters()
+	if subset != nil {
+		limit = len(subset)
+	}
+	if k := s.cfg.CandidateClusters; k > 0 && k < limit {
+		return &greedyState{ix: alloc.NewIndex(a), subset: subset}
+	}
+	if subset == nil {
+		return nil
+	}
+	return &greedyState{subset: subset}
+}
+
+// flushTelemetry folds the pass's index counters into the solver metrics.
+func (gs *greedyState) flushTelemetry(tel *solverTel) {
+	if gs == nil || tel == nil {
+		return
+	}
+	if gs.evaluated > 0 {
+		tel.indexEvaluated.Add(gs.evaluated)
+	}
+	if gs.pruned > 0 {
+		tel.indexPruned.Add(gs.pruned)
+	}
+	gs.evaluated, gs.pruned = 0, 0
+}
+
+// placeBest assigns client i to its most profitable cluster within gs's
+// scope (nil gs = exact whole-cloud scan); ErrCannotPlace when no cluster
+// can host it.
+func (s *Solver) placeBest(a *alloc.Allocation, i model.ClientID, gs *greedyState) error {
+	if gs != nil && gs.ix != nil {
+		return s.placeBestIndexed(a, i, gs)
+	}
+	var subset []model.ClusterID
+	if gs != nil {
+		subset = gs.subset
+	}
+	return s.placeBestFull(a, i, subset)
+}
+
+// placeBestFull is the exact path: price every cluster in scope, pick the
+// best estimate, and fall through the estimate order until one Assign
+// sticks. With a nil subset this is exactly the seed solver's placeBest.
+func (s *Solver) placeBestFull(a *alloc.Allocation, i model.ClientID, subset []model.ClusterID) error {
+	type result struct {
+		est      float64
+		portions []alloc.Portion
+		ok       bool
+	}
+	numC := s.scen.Cloud.NumClusters()
+	clusterAt := func(idx int) model.ClusterID { return model.ClusterID(idx) }
+	if subset != nil {
+		numC = len(subset)
+		clusterAt = func(idx int) model.ClusterID { return subset[idx] }
+	}
+	results := make([]result, numC)
+	eval := func(idx int) {
+		est, portions, err := s.AssignDistribute(a, i, clusterAt(idx))
+		if err != nil {
+			return
+		}
+		results[idx] = result{est: est, portions: portions, ok: true}
+	}
+	if s.cfg.Parallel && numC > 1 {
+		// The paper's distributed decision making: each cluster agent
+		// evaluates the client against its own state in parallel.
+		var wg sync.WaitGroup
+		for idx := 0; idx < numC; idx++ {
+			wg.Add(1)
+			go func(idx int) {
+				defer wg.Done()
+				eval(idx)
+			}(idx)
+		}
+		wg.Wait()
+	} else {
+		for idx := 0; idx < numC; idx++ {
+			eval(idx)
+		}
+	}
+
+	best := -1
+	for idx, r := range results {
+		if !r.ok {
+			continue
+		}
+		if best == -1 || r.est > results[best].est {
+			best = idx
+		}
+	}
+	if s.cfg.AdmissionControl && best != -1 && results[best].est < 0 {
+		// Serving this client anywhere would lose money; leave it out and
+		// let the exact-profit reassignment pass re-admit it if the
+		// linearized estimate was too pessimistic.
+		return ErrCannotPlace
+	}
+	// Try clusters in descending estimate order until one accepts: the
+	// estimate is approximate, so an Assign can still fail in rare
+	// borderline cases.
+	for best != -1 {
+		r := results[best]
+		if err := a.Assign(i, clusterAt(best), r.portions); err == nil {
+			return nil
+		}
+		results[best].ok = false
+		best = -1
+		for idx, rr := range results {
+			if !rr.ok {
+				continue
+			}
+			if best == -1 || rr.est > results[best].est {
+				best = idx
+			}
+		}
+	}
+	return ErrCannotPlace
+}
+
+// placeBestIndexed is the pruned path: refresh the index (lazy — only
+// clusters whose version moved are recomputed), take the top-k clusters
+// by gain upper bound, and evaluate them exactly in bound order, stopping
+// as soon as the next bound cannot beat the best exact estimate seen.
+func (s *Solver) placeBestIndexed(a *alloc.Allocation, i model.ClientID, gs *greedyState) error {
+	scope := s.scen.Cloud.NumClusters()
+	if gs.subset != nil {
+		scope = len(gs.subset)
+		gs.ix.RefreshClusters(gs.subset)
+	} else {
+		gs.ix.Refresh()
+	}
+	gs.cands = gs.ix.TopK(i, s.cfg.CandidateClusters, gs.subset, gs.cands)
+
+	evals := gs.evals[:0]
+	bestEst := math.Inf(-1)
+	var evaluated int64
+	for _, c := range gs.cands {
+		if c.Bound <= bestEst {
+			// Candidates are bound-descending: nothing after this one can
+			// strictly beat the best exact estimate either.
+			break
+		}
+		est, portions, err := s.assignDistribute(a, i, c.Cluster, nil, &gs.dist)
+		evaluated++
+		if err != nil {
+			continue
+		}
+		n := len(evals)
+		if n < cap(evals) {
+			evals = evals[:n+1]
+		} else {
+			evals = append(evals, greedyEval{})
+		}
+		ev := &evals[n]
+		ev.k, ev.est, ev.ok = c.Cluster, est, true
+		// The scratch-backed portions alias gs.dist; copy into the
+		// eval-owned recycled slice before the next evaluation.
+		ev.portions = append(ev.portions[:0], portions...)
+		if est > bestEst {
+			bestEst = est
+		}
+	}
+	gs.evals = evals
+	gs.evaluated += evaluated
+	gs.pruned += int64(scope) - evaluated
+
+	best := -1
+	for idx := range evals {
+		if !evals[idx].ok {
+			continue
+		}
+		if best == -1 || evals[idx].est > evals[best].est {
+			best = idx
+		}
+	}
+	if s.cfg.AdmissionControl && best != -1 && evals[best].est < 0 {
+		return s.escalateFull(a, i, gs, evaluated, scope)
+	}
+	for best != -1 {
+		if err := a.Assign(i, evals[best].k, evals[best].portions); err == nil {
+			return nil
+		}
+		evals[best].ok = false
+		best = -1
+		for idx := range evals {
+			if !evals[idx].ok {
+				continue
+			}
+			if best == -1 || evals[idx].est > evals[best].est {
+				best = idx
+			}
+		}
+	}
+	return s.escalateFull(a, i, gs, evaluated, scope)
+}
+
+// escalateFull is the indexed path's exactness fallback for rejections:
+// when none of the top-k candidates accepts the client, the pruned
+// clusters are the only hope left, so the client gets the full exact
+// scan over the scope before being declared unplaceable. On loaded
+// clouds the gain bound separates candidates poorly (many clusters have
+// a thin positive bound but a negative exact gain) and top-k-only
+// admission rejects far too many clients; the escalation bounds that
+// damage at the cost of O(scope) exact evaluations per rejected client
+// — in the sharded solve the scope is one shard's clusters, keeping the
+// fallback cheap.
+func (s *Solver) escalateFull(a *alloc.Allocation, i model.ClientID, gs *greedyState, evaluated int64, scope int) error {
+	if evaluated >= int64(scope) {
+		// Nothing was pruned; the rejection is exact.
+		return ErrCannotPlace
+	}
+	gs.pruned -= int64(scope) - evaluated
+	gs.evaluated += int64(scope) - evaluated
+	return s.placeBestFull(a, i, gs.subset)
+}

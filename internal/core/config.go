@@ -44,6 +44,29 @@ type Config struct {
 	// its own seed-split RNG stream and the winner is reduced under a
 	// fixed total order (profit, then start index).
 	Workers int
+	// CandidateClusters bounds how many candidate clusters a client is
+	// scored against per placement decision. 0 (the default) keeps the
+	// exact behaviour: every cluster in scope is priced with the full
+	// Assign_Distribute + PlacementGain evaluation. A value in (0, K)
+	// switches the greedy and reassignment phases to index-guided
+	// candidate generation (alloc.Index): the top-k clusters by gain
+	// upper bound are evaluated exactly, in bound order with early exit,
+	// and the rest are pruned. Values >= the number of clusters in scope
+	// fall back to the exact scan — k=K is the exactness fallback, proven
+	// bit-identical by the equivalence tests. The client's own cluster is
+	// always evaluated exactly regardless of k (the index's bound is not
+	// sound for it; see alloc.Index.GainUpperBound).
+	CandidateClusters int
+	// Shards partitions the clusters into Shards contiguous groups that
+	// solve independently — greedy placement and local-search rounds run
+	// per shard on the fan-out pool, touching only the shard's own
+	// clusters and clients, with a serial cross-shard reconciliation pass
+	// between rounds that re-scores clients against the whole cloud and
+	// moves the ones that profit from crossing a shard boundary. 0 or 1
+	// disables sharding. Results are deterministic at any worker count
+	// but differ from the unsharded solve (a different, equally valid
+	// search trajectory).
+	Shards int
 	// DisableParallelReassign falls back to the legacy strictly
 	// sequential reassignment pass — score and commit one client at a
 	// time in ID order — instead of the two-stage score/commit pipeline.
@@ -100,6 +123,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: ShadowPriceScale = %v", c.ShadowPriceScale)
 	case c.Workers < 0:
 		return fmt.Errorf("core: Workers = %d", c.Workers)
+	case c.CandidateClusters < 0:
+		return fmt.Errorf("core: CandidateClusters = %d", c.CandidateClusters)
+	case c.Shards < 0:
+		return fmt.Errorf("core: Shards = %d", c.Shards)
 	}
 	return nil
 }

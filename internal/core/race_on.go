@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is compiled in. Large
+// scale-coverage tests gate on it: under -race they would time out the
+// suite without exercising anything the small equivalence tests do not.
+const raceEnabled = true

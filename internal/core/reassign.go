@@ -39,7 +39,7 @@ func (s *Solver) ReassignmentPass(a *alloc.Allocation) int {
 func (s *Solver) reassignmentPassSequential(a *alloc.Allocation) int {
 	numK := s.scen.Cloud.NumClusters()
 	var moves int
-	var commitFails int64
+	var commitFails, restoreFails int64
 	var seen []model.ServerID // portionServerCost dedup scratch
 	for ci := 0; ci < s.scen.NumClients(); ci++ {
 		i := model.ClientID(ci)
@@ -107,6 +107,7 @@ func (s *Solver) reassignmentPassSequential(a *alloc.Allocation) int {
 				// The client's previous placement no longer fits either —
 				// it is now unserved, which must not pass silently.
 				commitFails++
+				restoreFails++
 				s.debugf("reassign: restore of previous placement failed, client unserved",
 					"client", i, "cluster", prevK, "err", err)
 				continue
@@ -118,8 +119,13 @@ func (s *Solver) reassignmentPassSequential(a *alloc.Allocation) int {
 			}
 		}
 	}
-	if s.tel != nil && commitFails > 0 {
-		s.tel.reassignCommitFails.Add(commitFails)
+	if s.tel != nil {
+		if commitFails > 0 {
+			s.tel.reassignCommitFails.Add(commitFails)
+		}
+		if restoreFails > 0 {
+			s.tel.reassignRestoreFails.Add(restoreFails)
+		}
 	}
 	return moves
 }

@@ -75,18 +75,22 @@ func (m *clientMark) stale(a *alloc.Allocation, i model.ClientID, sumVer uint64)
 	return sumVer != m.bestVer
 }
 
-// scoreResult is one client's scoring outcome.
+// scoreResult is one client's scoring outcome, plus the index's
+// evaluated/pruned tallies (folded into telemetry serially by the pass).
 type scoreResult struct {
-	cand    reassignCand
-	hasCand bool
-	mark    clientMark
+	cand      reassignCand
+	hasCand   bool
+	mark      clientMark
+	evaluated int64
+	pruned    int64
 }
 
 // reassignScratch is one scoring worker's reusable working memory.
 type reassignScratch struct {
-	dist distScratch
-	gain alloc.GainScratch
-	best []alloc.Portion
+	dist  distScratch
+	gain  alloc.GainScratch
+	best  []alloc.Portion
+	cands []alloc.Candidate
 }
 
 // reassignState carries the cross-pass skip marks plus recycled pass
@@ -99,6 +103,10 @@ type reassignState struct {
 	results []scoreResult
 	heap    []reassignCand
 	scratch reassignScratch // serial-path and commit-loop scratch
+	// ix is the candidate index when Config.CandidateClusters enables
+	// top-k pruning; refreshed serially before the parallel scoring stage
+	// and before each commit-loop rescore.
+	ix *alloc.Index
 }
 
 // takeReassignState checks the solver's cached state out (concurrent
@@ -140,6 +148,17 @@ func (s *Solver) reassignmentPassPipelined(a *alloc.Allocation) int {
 	st := s.takeReassignState(a, n)
 	defer s.storeReassignState(st)
 
+	// Candidate index: built once per allocation, refreshed lazily here
+	// (serial — the scoring workers only read it).
+	var ix *alloc.Index
+	if k := s.cfg.CandidateClusters; k > 0 && k < s.scen.Cloud.NumClusters() {
+		if st.ix == nil || st.ix.Allocation() != a {
+			st.ix = alloc.NewIndex(a)
+		}
+		st.ix.Refresh()
+		ix = st.ix
+	}
+
 	outGain := math.Inf(-1)
 	if s.cfg.AdmissionControl {
 		outGain = 0
@@ -169,7 +188,7 @@ func (s *Solver) reassignmentPassPipelined(a *alloc.Allocation) int {
 	results := st.results[:len(toScore)]
 	if workers := s.reassignWorkers(len(toScore)); workers <= 1 {
 		for idx, i := range toScore {
-			results[idx] = s.scoreClient(a, i, outGain, &st.scratch)
+			results[idx] = s.scoreClient(a, i, outGain, &st.scratch, ix, nil)
 		}
 	} else {
 		var next atomic.Int64
@@ -184,7 +203,7 @@ func (s *Solver) reassignmentPassPipelined(a *alloc.Allocation) int {
 					if idx >= len(toScore) {
 						return
 					}
-					results[idx] = s.scoreClient(a, toScore[idx], outGain, &ws)
+					results[idx] = s.scoreClient(a, toScore[idx], outGain, &ws, ix, nil)
 				}
 			}()
 		}
@@ -194,9 +213,12 @@ func (s *Solver) reassignmentPassPipelined(a *alloc.Allocation) int {
 	// Fold the results serially in client order: deterministic marks and
 	// a deterministic initial heap regardless of worker interleaving.
 	heap := st.heap[:0]
+	var ixEvaluated, ixPruned int64
 	for idx, i := range toScore {
 		r := &results[idx]
 		st.marks[i] = r.mark
+		ixEvaluated += r.evaluated
+		ixPruned += r.pruned
 		if r.hasCand {
 			heap = candPush(heap, r.cand)
 		}
@@ -213,7 +235,7 @@ func (s *Solver) reassignmentPassPipelined(a *alloc.Allocation) int {
 		tCommit = time.Now()
 	}
 	var moves int
-	var rescores, commitFails int64
+	var rescores, commitFails, restoreFails int64
 	var rescoreDur time.Duration
 	for len(heap) > 0 {
 		var c reassignCand
@@ -227,8 +249,13 @@ func (s *Solver) reassignmentPassPipelined(a *alloc.Allocation) int {
 			if s.tel != nil {
 				tr = time.Now()
 			}
-			r := s.scoreClient(a, c.client, outGain, &st.scratch)
+			if ix != nil {
+				ix.Refresh() // lazy: only the committed-to clusters recompute
+			}
+			r := s.scoreClient(a, c.client, outGain, &st.scratch, ix, nil)
 			st.marks[c.client] = r.mark
+			ixEvaluated += r.evaluated
+			ixPruned += r.pruned
 			rescores++
 			if s.tel != nil {
 				rescoreDur += time.Since(tr)
@@ -253,6 +280,7 @@ func (s *Solver) reassignmentPassPipelined(a *alloc.Allocation) int {
 				s.debugf("reassign: commit of scored candidate failed",
 					"client", c.client, "cluster", c.toK, "err", err)
 				if rbErr := txn.Rollback(); rbErr != nil {
+					restoreFails++
 					s.debugf("reassign: rollback failed", "client", c.client, "err", rbErr)
 				}
 				continue
@@ -265,6 +293,7 @@ func (s *Solver) reassignmentPassPipelined(a *alloc.Allocation) int {
 			// depended on; make sure the next pass rescores it.
 			st.marks[c.client] = clientMark{}
 		} else if rbErr := txn.Rollback(); rbErr != nil {
+			restoreFails++
 			s.debugf("reassign: rollback failed", "client", c.client, "err", rbErr)
 		}
 	}
@@ -278,16 +307,38 @@ func (s *Solver) reassignmentPassPipelined(a *alloc.Allocation) int {
 		if commitFails > 0 {
 			s.tel.reassignCommitFails.Add(commitFails)
 		}
+		if restoreFails > 0 {
+			s.tel.reassignRestoreFails.Add(restoreFails)
+		}
+		if ixEvaluated > 0 {
+			s.tel.indexEvaluated.Add(ixEvaluated)
+		}
+		if ixPruned > 0 {
+			s.tel.indexPruned.Add(ixPruned)
+		}
 	}
 	return moves
 }
 
-// scoreClient prices every cluster for one client against the current
-// allocation (read-only, through an exclusion view) and translates the
-// legacy pass's commit switch into at most one candidate action. The
-// mark records what the decision depended on.
-func (s *Solver) scoreClient(a *alloc.Allocation, i model.ClientID, outGain float64, ws *reassignScratch) scoreResult {
-	numK := s.scen.Cloud.NumClusters()
+// scoreClient prices candidate clusters for one client against the
+// current allocation (read-only, through an exclusion view) and
+// translates the legacy pass's commit switch into at most one candidate
+// action. The mark records what the decision depended on.
+//
+// With a nil ix every cluster in scope is evaluated exactly (the seed
+// behaviour). With an index, the client's own cluster is always evaluated
+// exactly (the index bound is not sound for it) and the remaining
+// clusters come from TopK in bound-descending order, stopping once no
+// bound can clear the acceptance threshold max(bestGain, prevGain+1e-9,
+// outGain) — every pruned cluster provably cannot change the action.
+// subset restricts the scope (nil = whole cloud); the sharded solve
+// passes its own clusters so no cross-shard state is read.
+func (s *Solver) scoreClient(a *alloc.Allocation, i model.ClientID, outGain float64,
+	ws *reassignScratch, ix *alloc.Index, subset []model.ClusterID) scoreResult {
+	scope := s.scen.Cloud.NumClusters()
+	if subset != nil {
+		scope = len(subset)
+	}
 	view := a.Excluding(i)
 	prevK := a.ClusterOf(i)
 
@@ -300,15 +351,50 @@ func (s *Solver) scoreClient(a *alloc.Allocation, i model.ClientID, outGain floa
 
 	bestGain := math.Inf(-1)
 	bestK := -1
-	for k := 0; k < numK; k++ {
-		_, portions, err := s.assignDistribute(&view, i, model.ClusterID(k), nil, &ws.dist)
+	var evaluated int64
+	evalCluster := func(k model.ClusterID) {
+		evaluated++
+		_, portions, err := s.assignDistribute(&view, i, k, nil, &ws.dist)
 		if err != nil {
-			continue
+			return
 		}
-		if g, ok := view.PlacementGain(model.ClusterID(k), portions, &ws.gain); ok && g > bestGain {
+		if g, ok := view.PlacementGain(k, portions, &ws.gain); ok && g > bestGain {
 			bestGain = g
-			bestK = k
+			bestK = int(k)
 			ws.best = append(ws.best[:0], portions...)
+		}
+	}
+	switch {
+	case ix == nil && subset == nil:
+		for k := 0; k < scope; k++ {
+			evalCluster(model.ClusterID(k))
+		}
+	case ix == nil:
+		for _, k := range subset {
+			evalCluster(k)
+		}
+	default:
+		if prevK != alloc.Unassigned {
+			evalCluster(model.ClusterID(prevK))
+		}
+		ws.cands = ix.TopK(i, s.cfg.CandidateClusters, subset, ws.cands)
+		for _, c := range ws.cands {
+			if int(c.Cluster) == prevK {
+				continue
+			}
+			threshold := bestGain
+			if t := prevGain + 1e-9; t > threshold {
+				threshold = t
+			}
+			if outGain > threshold {
+				threshold = outGain
+			}
+			if c.Bound <= threshold {
+				// Bound-descending order: no remaining candidate can strictly
+				// beat the threshold, so none can change the action below.
+				break
+			}
+			evalCluster(c.Cluster)
 		}
 	}
 
@@ -316,12 +402,15 @@ func (s *Solver) scoreClient(a *alloc.Allocation, i model.ClientID, outGain floa
 	if prevK != alloc.Unassigned {
 		mark.curVer = a.ClusterVersion(model.ClusterID(prevK))
 	}
-	if bestK >= 0 {
+	switch {
+	case bestK >= 0:
 		mark.bestVer = a.ClusterVersion(model.ClusterID(bestK))
-	} else {
+	case subset != nil:
+		mark.bestVer = a.ClusterVersionSumOf(subset)
+	default:
 		mark.bestVer = a.ClusterVersionSum()
 	}
-	res := scoreResult{mark: mark}
+	res := scoreResult{mark: mark, evaluated: evaluated, pruned: int64(scope) - evaluated}
 
 	// The legacy commit switch, split into "which action" (decided here
 	// on scored gains) and "apply" (the commit loop, revalidated against

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+func shardScenario(t *testing.T, clients, clusters int, seed int64) *model.Scenario {
+	t.Helper()
+	wcfg := workload.DefaultConfig()
+	wcfg.NumClients = clients
+	wcfg.NumClusters = clusters
+	wcfg.Seed = seed
+	scen, err := workload.Generate(wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return scen
+}
+
+// TestShardedSolveWorkerEquiv: the sharded solve must be bit-identical at
+// any worker count — shard membership, per-shard orders and the serial
+// reconciliation are all deterministic. Under -race this also proves the
+// shards' cluster ownership is disjoint.
+func TestShardedSolveWorkerEquiv(t *testing.T) {
+	for _, shards := range []int{2, 3, 7} {
+		scen := shardScenario(t, 90, 6, int64(40+shards))
+		mutate := func(workers int) func(*Config) {
+			return func(c *Config) {
+				c.Workers = workers
+				c.Shards = shards
+			}
+		}
+		s1 := newTestSolver(t, scen, mutate(1))
+		sN := newTestSolver(t, scen, mutate(8))
+		a1, st1, err := s1.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		aN, stN, err := sN.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameAssignments(t, scen, a1, aN, "sharded solve")
+		if !ulpEqual(st1.FinalProfit, stN.FinalProfit) {
+			t.Fatalf("shards=%d: final profit %v vs %v", shards, st1.FinalProfit, stN.FinalProfit)
+		}
+		if st1.Reassignments != stN.Reassignments {
+			t.Fatalf("shards=%d: %d vs %d reassignments", shards, st1.Reassignments, stN.Reassignments)
+		}
+		if err := aN.Validate(); err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+	}
+}
+
+// TestShardedSolveQuality: sharding trades search breadth for
+// parallelism; the reconciliation pass must keep the profit close to the
+// unsharded solver's.
+func TestShardedSolveQuality(t *testing.T) {
+	scen := shardScenario(t, 120, 8, 77)
+	exact := newTestSolver(t, scen, nil)
+	_, stExact, err := exact.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded := newTestSolver(t, scen, func(c *Config) { c.Shards = 4 })
+	a, st, err := sharded.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if stExact.FinalProfit <= 0 {
+		t.Fatalf("unsharded profit %v not positive; instance unusable", stExact.FinalProfit)
+	}
+	if loss := (stExact.FinalProfit - st.FinalProfit) / stExact.FinalProfit; loss > 0.05 {
+		t.Fatalf("sharded solve lost %.2f%% profit (unsharded %v, sharded %v)",
+			loss*100, stExact.FinalProfit, st.FinalProfit)
+	}
+	if st.Unplaced > stExact.Unplaced+scen.NumClients()/20 {
+		t.Fatalf("sharded solve left %d clients unplaced (unsharded %d)", st.Unplaced, stExact.Unplaced)
+	}
+}
+
+// TestShardedPrunedSolveEquiv: sharding composed with index pruning —
+// still deterministic across worker counts and still a valid allocation.
+func TestShardedPrunedSolveEquiv(t *testing.T) {
+	scen := shardScenario(t, 100, 9, 55)
+	mutate := func(workers int) func(*Config) {
+		return func(c *Config) {
+			c.Workers = workers
+			c.Shards = 3
+			c.CandidateClusters = 2
+		}
+	}
+	s1 := newTestSolver(t, scen, mutate(1))
+	sN := newTestSolver(t, scen, mutate(6))
+	a1, st1, err := s1.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	aN, stN, err := sN.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameAssignments(t, scen, a1, aN, "sharded pruned solve")
+	if !ulpEqual(st1.FinalProfit, stN.FinalProfit) {
+		t.Fatalf("final profit %v vs %v", st1.FinalProfit, stN.FinalProfit)
+	}
+	if err := aN.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardsMoreThanClusters: Shards beyond the cluster count must clamp,
+// not break.
+func TestShardsMoreThanClusters(t *testing.T) {
+	scen := shardScenario(t, 30, 3, 5)
+	s := newTestSolver(t, scen, func(c *Config) { c.Shards = 16 })
+	a, st, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if st.FinalProfit <= 0 {
+		t.Fatalf("profit %v", st.FinalProfit)
+	}
+}
+
+// TestShardedSolveNoReassign: DisableReassign must skip both the scoped
+// passes and the reconciliation without breaking the sharded rounds.
+func TestShardedSolveNoReassign(t *testing.T) {
+	scen := shardScenario(t, 60, 6, 13)
+	s := newTestSolver(t, scen, func(c *Config) {
+		c.Shards = 3
+		c.DisableReassign = true
+	})
+	a, st, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Reassignments != 0 {
+		t.Fatalf("DisableReassign but %d reassignments", st.Reassignments)
+	}
+}

@@ -76,6 +76,12 @@ func (s *Solver) Scenario() *model.Scenario { return s.scen }
 // worker recycles one allocation arena across its starts (alloc.Reset),
 // keeping only its running best.
 func (s *Solver) Solve() (*alloc.Allocation, Stats, error) {
+	if s.cfg.Shards > 1 && s.scen.Cloud.NumClusters() > 1 {
+		// Sharded mode (shard.go): clusters partitioned across independent
+		// shards, per-shard greedy + local search on the fan-out pool, with
+		// serial cross-shard reconciliation between rounds.
+		return s.solveSharded()
+	}
 	start := time.Now()
 	sp := s.tel.start("solver.solve")
 	sp.Attr("clients", s.scen.NumClients())
@@ -192,88 +198,20 @@ func (s *Solver) InitialSolution(rng *rand.Rand) (*alloc.Allocation, error) {
 }
 
 // buildInitial runs one greedy pass into an empty (fresh or Reset)
-// allocation.
+// allocation. Candidate generation goes through a per-pass greedyState
+// (candidates.go): nil for the exact full scan, index-backed when
+// Config.CandidateClusters enables top-k pruning.
 func (s *Solver) buildInitial(a *alloc.Allocation, rng *rand.Rand) error {
+	gs := s.newGreedyState(a, nil)
 	order := rng.Perm(s.scen.NumClients())
 	for _, ci := range order {
 		i := model.ClientID(ci)
-		if err := s.placeBest(a, i); err != nil && !errors.Is(err, ErrCannotPlace) {
+		if err := s.placeBest(a, i, gs); err != nil && !errors.Is(err, ErrCannotPlace) {
 			return err
 		}
 	}
+	gs.flushTelemetry(s.tel)
 	return nil
-}
-
-// placeBest assigns client i to its most profitable cluster; returns
-// ErrCannotPlace when no cluster can host it.
-func (s *Solver) placeBest(a *alloc.Allocation, i model.ClientID) error {
-	type result struct {
-		est      float64
-		portions []alloc.Portion
-		ok       bool
-	}
-	numK := s.scen.Cloud.NumClusters()
-	results := make([]result, numK)
-	eval := func(k int) {
-		est, portions, err := s.AssignDistribute(a, i, model.ClusterID(k))
-		if err != nil {
-			return
-		}
-		results[k] = result{est: est, portions: portions, ok: true}
-	}
-	if s.cfg.Parallel && numK > 1 {
-		// The paper's distributed decision making: each cluster agent
-		// evaluates the client against its own state in parallel.
-		var wg sync.WaitGroup
-		for k := 0; k < numK; k++ {
-			wg.Add(1)
-			go func(k int) {
-				defer wg.Done()
-				eval(k)
-			}(k)
-		}
-		wg.Wait()
-	} else {
-		for k := 0; k < numK; k++ {
-			eval(k)
-		}
-	}
-
-	bestK := -1
-	for k, r := range results {
-		if !r.ok {
-			continue
-		}
-		if bestK == -1 || r.est > results[bestK].est {
-			bestK = k
-		}
-	}
-	if s.cfg.AdmissionControl && bestK != -1 && results[bestK].est < 0 {
-		// Serving this client anywhere would lose money; leave it out and
-		// let the exact-profit reassignment pass re-admit it if the
-		// linearized estimate was too pessimistic.
-		return ErrCannotPlace
-	}
-	// Try clusters in descending estimate order until one accepts: the
-	// estimate is approximate, so an Assign can still fail in rare
-	// borderline cases.
-	for bestK != -1 {
-		r := results[bestK]
-		if err := a.Assign(i, model.ClusterID(bestK), r.portions); err == nil {
-			return nil
-		}
-		results[bestK].ok = false
-		bestK = -1
-		for k, rr := range results {
-			if !rr.ok {
-				continue
-			}
-			if bestK == -1 || rr.est > results[bestK].est {
-				bestK = k
-			}
-		}
-	}
-	return ErrCannotPlace
 }
 
 // ImproveLocal runs the local-search phases until the profit is steady or
@@ -335,27 +273,7 @@ func (s *Solver) improvePass(a *alloc.Allocation, stats *Stats) {
 	acts := make([]int, numK)
 	deacts := make([]int, numK)
 	run := func(k int) {
-		kid := model.ClusterID(k)
-		if s.tel != nil {
-			acts[k], deacts[k] = s.clusterPassInstrumented(a, kid, members[k])
-			return
-		}
-		if !s.cfg.DisableShareAdjust {
-			for _, j := range s.scen.Cloud.ClusterServers(kid) {
-				s.AdjustResourceShares(a, j)
-			}
-		}
-		if !s.cfg.DisableDispersionAdjust {
-			for _, id := range members[k] {
-				s.AdjustDispersionRates(a, id)
-			}
-		}
-		if !s.cfg.DisableTurnOn {
-			acts[k] += s.turnOnServers(a, kid, members[k])
-		}
-		if !s.cfg.DisableTurnOff {
-			deacts[k] += s.turnOffServers(a, kid)
-		}
+		acts[k], deacts[k] = s.sweepCluster(a, model.ClusterID(k), members[k])
 	}
 	if s.cfg.Parallel && numK > 1 {
 		var wg sync.WaitGroup
@@ -376,6 +294,33 @@ func (s *Solver) improvePass(a *alloc.Allocation, stats *Stats) {
 		stats.Activations += acts[k]
 		stats.Deactivations += deacts[k]
 	}
+}
+
+// sweepCluster runs the enabled per-cluster local-search phases on one
+// cluster. Every mutation is confined to the cluster, so callers may run
+// sweeps on distinct clusters concurrently (improvePass's per-cluster
+// goroutines, the sharded solve's per-shard rounds).
+func (s *Solver) sweepCluster(a *alloc.Allocation, kid model.ClusterID, members []model.ClientID) (acts, deacts int) {
+	if s.tel != nil {
+		return s.clusterPassInstrumented(a, kid, members)
+	}
+	if !s.cfg.DisableShareAdjust {
+		for _, j := range s.scen.Cloud.ClusterServers(kid) {
+			s.AdjustResourceShares(a, j)
+		}
+	}
+	if !s.cfg.DisableDispersionAdjust {
+		for _, id := range members {
+			s.AdjustDispersionRates(a, id)
+		}
+	}
+	if !s.cfg.DisableTurnOn {
+		acts += s.turnOnServers(a, kid, members)
+	}
+	if !s.cfg.DisableTurnOff {
+		deacts += s.turnOffServers(a, kid)
+	}
+	return acts, deacts
 }
 
 // clusterMembers snapshots the assigned clients of every cluster.

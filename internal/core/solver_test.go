@@ -272,7 +272,7 @@ func TestTxnRollbackRestoresFirstSnapshot(t *testing.T) {
 	scen := smallScenario(t, 5, 51)
 	s := newTestSolver(t, scen, nil)
 	a := alloc.New(scen)
-	if err := s.placeBest(a, 0); err != nil {
+	if err := s.placeBest(a, 0, nil); err != nil {
 		t.Fatal(err)
 	}
 	origK := a.ClusterOf(0)

@@ -47,10 +47,17 @@ type solverTel struct {
 	reassignCommitDur  *telemetry.Histogram
 	reassignRescoreDur *telemetry.Histogram
 
-	reassignScored      *telemetry.Counter
-	reassignSkipped     *telemetry.Counter
-	reassignRescores    *telemetry.Counter
-	reassignCommitFails *telemetry.Counter
+	reassignScored       *telemetry.Counter
+	reassignSkipped      *telemetry.Counter
+	reassignRescores     *telemetry.Counter
+	reassignCommitFails  *telemetry.Counter
+	reassignRestoreFails *telemetry.Counter
+
+	// Candidate-index instrumentation (candidates.go, alloc.Index):
+	// exact evaluations performed after pruning vs clusters skipped via
+	// the gain upper bound / feasibility screens / top-k cutoff.
+	indexEvaluated *telemetry.Counter
+	indexPruned    *telemetry.Counter
 
 	shareMoves      *telemetry.Counter
 	shareAccepts    *telemetry.Counter
@@ -81,6 +88,9 @@ func newSolverTel(set *telemetry.Set) *solverTel {
 	set.Metrics.Help("solver_reassign_dirty_skipped_total", "clients that skipped reassignment scoring because their clusters were clean")
 	set.Metrics.Help("solver_reassign_rescores_total", "reassignment candidates rescored after an earlier commit dirtied their clusters")
 	set.Metrics.Help("solver_reassign_commit_failures_total", "reassignment commits rejected by the allocation despite a feasible score")
+	set.Metrics.Help("solver_reassign_restore_failures_total", "clients left unserved because restoring their previous placement failed after a rejected move")
+	set.Metrics.Help("solver_index_evaluated_total", "candidate clusters evaluated exactly after index pruning")
+	set.Metrics.Help("solver_index_pruned_total", "candidate clusters skipped by the index's gain upper bound, feasibility screens or top-k cutoff")
 	phaseDur := func(phase string) *telemetry.Histogram {
 		return set.Histogram(telemetry.Name("solver_phase_seconds", "phase", phase), telemetry.DurationBuckets)
 	}
@@ -104,10 +114,14 @@ func newSolverTel(set *telemetry.Set) *solverTel {
 		reassignCommitDur:  phaseDur(phaseReassignCommit),
 		reassignRescoreDur: phaseDur(phaseReassignRescore),
 
-		reassignScored:      set.Counter("solver_reassign_scored_total"),
-		reassignSkipped:     set.Counter("solver_reassign_dirty_skipped_total"),
-		reassignRescores:    set.Counter("solver_reassign_rescores_total"),
-		reassignCommitFails: set.Counter("solver_reassign_commit_failures_total"),
+		reassignScored:       set.Counter("solver_reassign_scored_total"),
+		reassignSkipped:      set.Counter("solver_reassign_dirty_skipped_total"),
+		reassignRescores:     set.Counter("solver_reassign_rescores_total"),
+		reassignCommitFails:  set.Counter("solver_reassign_commit_failures_total"),
+		reassignRestoreFails: set.Counter("solver_reassign_restore_failures_total"),
+
+		indexEvaluated: set.Counter("solver_index_evaluated_total"),
+		indexPruned:    set.Counter("solver_index_pruned_total"),
 
 		shareMoves:      set.Counter(telemetry.Name("solver_moves_total", "phase", phaseShare)),
 		shareAccepts:    set.Counter(telemetry.Name("solver_moves_accepted_total", "phase", phaseShare)),

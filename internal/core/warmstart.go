@@ -49,8 +49,9 @@ func (s *Solver) SolveFrom(prev *alloc.Allocation) (*alloc.Allocation, Stats, er
 		}
 	}
 	var replaced int
+	gs := s.newGreedyState(a, nil)
 	for _, id := range displaced {
-		if err := s.placeBest(a, id); err != nil {
+		if err := s.placeBest(a, id, gs); err != nil {
 			if errors.Is(err, ErrCannotPlace) {
 				continue
 			}
@@ -58,6 +59,7 @@ func (s *Solver) SolveFrom(prev *alloc.Allocation) (*alloc.Allocation, Stats, er
 		}
 		replaced++
 	}
+	gs.flushTelemetry(s.tel)
 
 	stats := Stats{InitialProfit: a.Profit()}
 	s.ImproveLocal(a, &stats)

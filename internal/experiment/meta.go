@@ -1,0 +1,22 @@
+package experiment
+
+import "runtime"
+
+// BenchMeta records the runtime environment of a benchmark run. Every
+// BENCH_*.json report embeds it so perf trajectories across PRs are
+// only compared like-for-like (a 2-core CI runner and a 16-core
+// workstation produce very different parallel speedups).
+type BenchMeta struct {
+	GoVersion  string `json:"go_version"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+}
+
+// NewBenchMeta captures the current process's environment.
+func NewBenchMeta() BenchMeta {
+	return BenchMeta{
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+}

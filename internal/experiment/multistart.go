@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"runtime"
 	"strings"
 	"text/tabwriter"
 	"time"
@@ -68,13 +67,11 @@ type MultistartRow struct {
 // BENCH_multistart.json so later PRs have a perf trajectory to compare
 // against.
 type MultistartReport struct {
-	GoVersion  string          `json:"go_version"`
-	GoMaxProcs int             `json:"gomaxprocs"`
-	NumCPU     int             `json:"num_cpu"`
-	Starts     int             `json:"starts"`
-	MCDraws    int             `json:"mc_draws"`
-	Repeats    int             `json:"repeats"`
-	Rows       []MultistartRow `json:"rows"`
+	BenchMeta
+	Starts  int             `json:"starts"`
+	MCDraws int             `json:"mc_draws"`
+	Repeats int             `json:"repeats"`
+	Rows    []MultistartRow `json:"rows"`
 }
 
 // RunMultistart times the two fan-outs with one worker and with
@@ -86,12 +83,10 @@ func RunMultistart(cfg MultistartConfig) (*MultistartReport, error) {
 		return nil, fmt.Errorf("experiment: bad multistart config %+v", cfg)
 	}
 	report := &MultistartReport{
-		GoVersion:  runtime.Version(),
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		NumCPU:     runtime.NumCPU(),
-		Starts:     cfg.Starts,
-		MCDraws:    cfg.MCDraws,
-		Repeats:    cfg.Repeats,
+		BenchMeta: NewBenchMeta(),
+		Starts:    cfg.Starts,
+		MCDraws:   cfg.MCDraws,
+		Repeats:   cfg.Repeats,
 	}
 	for _, n := range cfg.ClientCounts {
 		wcfg := cfg.Workload

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
-	"runtime"
 	"strings"
 	"text/tabwriter"
 	"time"
@@ -60,11 +59,9 @@ type ReassignRow struct {
 // BENCH_reassign.json so later PRs have a perf trajectory to compare
 // against.
 type ReassignReport struct {
-	GoVersion  string        `json:"go_version"`
-	GoMaxProcs int           `json:"gomaxprocs"`
-	NumCPU     int           `json:"num_cpu"`
-	Repeats    int           `json:"repeats"`
-	Rows       []ReassignRow `json:"rows"`
+	BenchMeta
+	Repeats int           `json:"repeats"`
+	Rows    []ReassignRow `json:"rows"`
 }
 
 // RunReassign measures one reassignment pass per mode over identical
@@ -74,10 +71,8 @@ func RunReassign(cfg ReassignConfig) (*ReassignReport, error) {
 		return nil, fmt.Errorf("experiment: bad reassign config %+v", cfg)
 	}
 	report := &ReassignReport{
-		GoVersion:  runtime.Version(),
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		NumCPU:     runtime.NumCPU(),
-		Repeats:    cfg.Repeats,
+		BenchMeta: NewBenchMeta(),
+		Repeats:   cfg.Repeats,
 	}
 	for _, n := range cfg.ClientCounts {
 		wcfg := cfg.Workload

@@ -1,0 +1,36 @@
+package workload
+
+// ScaleConfig sizes a scenario for the large-scale benchmarks
+// (1k–1M clients). The paper's experimental cloud (5 clusters, 20–30
+// servers each) saturates long before 100k clients, so the scale
+// instances grow the cloud with the demand: uniform 128-server clusters
+// and about 0.8 clients per server — between the paper's sweep
+// endpoints (0.4 at 50 clients, 1.6 at 200), loaded enough that
+// admission and server activation matter but solvable enough that the
+// allocator, not the instance, decides who is served — never fewer
+// than the paper's five clusters. Everything else — class counts, parameter
+// distributions — stays at the paper's values, so a scale instance is
+// a paper instance with more of the same clusters and clients.
+//
+// Memory and generation time are linear in the client count: Generate
+// draws each server and client independently and the scenario stores
+// flat slices, so a 1M-client instance is just a long slice, not a
+// quadratic structure.
+func ScaleConfig(clients int, seed int64) Config {
+	// 128 servers/cluster × ~0.8 clients/server = 100 clients/cluster.
+	const (
+		serversPerCluster = 128
+		clientsPerCluster = 100
+	)
+	numClusters := clients / clientsPerCluster
+	if numClusters < 5 {
+		numClusters = 5
+	}
+	cfg := DefaultConfig()
+	cfg.NumClients = clients
+	cfg.NumClusters = numClusters
+	cfg.MinServersPerCluster = serversPerCluster
+	cfg.MaxServersPerCluster = serversPerCluster
+	cfg.Seed = seed
+	return cfg
+}

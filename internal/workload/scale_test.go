@@ -1,0 +1,61 @@
+package workload
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestScaleConfigShape(t *testing.T) {
+	cases := []struct {
+		clients  int
+		clusters int
+	}{
+		{1_000, 10},
+		{10_000, 100},
+		{100_000, 1_000},
+		{1_000_000, 10_000},
+	}
+	for _, c := range cases {
+		cfg := ScaleConfig(c.clients, 1)
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("clients=%d: %v", c.clients, err)
+		}
+		if cfg.NumClusters != c.clusters {
+			t.Fatalf("clients=%d: %d clusters, want %d", c.clients, cfg.NumClusters, c.clusters)
+		}
+		if cfg.MinServersPerCluster != 128 || cfg.MaxServersPerCluster != 128 {
+			t.Fatalf("clients=%d: servers per cluster [%d,%d], want uniform 128",
+				c.clients, cfg.MinServersPerCluster, cfg.MaxServersPerCluster)
+		}
+	}
+}
+
+// TestScaleGenerateLinearMemory generates a 200k-client instance and
+// checks the allocation stays linear: a generous per-client budget that
+// any quadratic structure would blow through by orders of magnitude.
+func TestScaleGenerateLinearMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	const clients = 200_000
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	scen, err := Generate(ScaleConfig(clients, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtime.ReadMemStats(&after)
+	if scen.NumClients() != clients {
+		t.Fatalf("%d clients", scen.NumClients())
+	}
+	if got := scen.Cloud.NumServers(); got != scen.Cloud.NumClusters()*128 {
+		t.Fatalf("%d servers for %d clusters", got, scen.Cloud.NumClusters())
+	}
+	allocated := after.TotalAlloc - before.TotalAlloc
+	const perClientBudget = 2048 // bytes; actual usage is ~100B/client
+	if allocated > clients*perClientBudget {
+		t.Fatalf("generating %d clients allocated %d bytes (> %d per client)",
+			clients, allocated, perClientBudget)
+	}
+}
