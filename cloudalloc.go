@@ -87,6 +87,10 @@ type (
 
 	// SolveStats reports what the allocator did.
 	SolveStats = core.Stats
+	// ProfitAttribution decomposes a solve's profit delta by phase.
+	ProfitAttribution = core.Attribution
+	// PhaseTimings reports wall-clock time per solver phase.
+	PhaseTimings = core.PhaseTimings
 
 	// PSConfig tunes the modified Proportional Share baseline.
 	PSConfig = baseline.PSConfig
@@ -111,6 +115,8 @@ type (
 	ManagerConfig = cluster.ManagerConfig
 	// ManagerStats reports a distributed solve.
 	ManagerStats = cluster.ManagerStats
+	// ManagerAttribution decomposes a distributed solve's profit by stage.
+	ManagerAttribution = cluster.ManagerAttribution
 
 	// Telemetry bundles a metrics registry, a span tracer and a
 	// structured logger. A nil *Telemetry disables observability at zero
@@ -118,6 +124,12 @@ type (
 	Telemetry = telemetry.Set
 	// SpanRecord is one finished span from the telemetry trace buffer.
 	SpanRecord = telemetry.SpanRecord
+	// TraceRef addresses a span so child work — including work on the
+	// far side of an agent RPC — can parent under it.
+	TraceRef = telemetry.TraceRef
+	// FlightEvent is one recorded solver decision from the flight
+	// recorder ring.
+	FlightEvent = telemetry.Event
 )
 
 // LoadScenario reads a scenario JSON file.
@@ -233,9 +245,34 @@ func NewTextLogger(w io.Writer, level int) *slog.Logger {
 
 // DebugHandler serves the set's observability surface over HTTP:
 // /metrics (Prometheus text), /debug/vars (expvar JSON), /debug/trace
-// (recent spans as JSON) and /debug/pprof. A nil set yields a handler
-// whose endpoints report telemetry as disabled.
+// (recent spans as JSON, ASCII trees with ?format=tree, Chrome
+// trace-event JSON with ?format=chrome), /debug/flight (recent flight-
+// recorder events) and /debug/pprof. A nil set yields a handler whose
+// endpoints report telemetry as disabled.
 func DebugHandler(set *Telemetry) http.Handler { return telemetry.Handler(set) }
+
+// ConfigureFlight replaces the set's flight recorder: the ring retains
+// the last capacity events (0 keeps the default) and client-scoped
+// events are sampled 1-in-every by a deterministic hash of the client ID
+// (<=1 records all). Call before handing the set to a solver. No-op on
+// a nil set.
+func ConfigureFlight(set *Telemetry, capacity, every int) {
+	if set != nil {
+		set.Flight = telemetry.NewFlight(capacity, every)
+	}
+}
+
+// WriteChromeTrace writes spans as Chrome trace-event JSON, loadable in
+// Perfetto or chrome://tracing (cloudalloc solve -trace-out).
+func WriteChromeTrace(w io.Writer, spans []SpanRecord) error {
+	return telemetry.WriteChromeTrace(w, spans)
+}
+
+// WriteTraceTree renders spans as indented ASCII trace trees, one per
+// TraceID, the same view /debug/trace?format=tree serves.
+func WriteTraceTree(w io.Writer, spans []SpanRecord) {
+	telemetry.WriteTraceTree(w, spans)
+}
 
 // Allocator runs the paper's Resource_Alloc heuristic.
 type Allocator struct {

@@ -1,6 +1,7 @@
 package cloudalloc
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"net"
@@ -175,7 +176,7 @@ func TestPublicAPIDistributedTCP(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer remote.Close()
-	if k, err := remote.ClusterID(); err != nil || k != 0 {
+	if k, err := remote.ClusterID(context.Background()); err != nil || k != 0 {
 		t.Fatalf("remote ClusterID = %v, %v", k, err)
 	}
 }

@@ -74,6 +74,8 @@ func run(args []string) error {
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(w, "initial profit\t%.2f\n", stats.InitialProfit)
 	fmt.Fprintf(w, "final profit\t%.2f\n", stats.FinalProfit)
+	fmt.Fprintf(w, "improve rounds Δ\t%+.2f\n", stats.Attribution.Improve)
+	fmt.Fprintf(w, "central reassign Δ\t%+.2f\n", stats.Attribution.CentralReassign)
 	fmt.Fprintf(w, "improve rounds\t%d\n", stats.ImproveRounds)
 	fmt.Fprintf(w, "activations / deactivations\t%d / %d\n", stats.Activations, stats.Deactivations)
 	fmt.Fprintf(w, "clients assigned\t%d of %d\n", b.Assigned, scen.NumClients())

@@ -38,8 +38,11 @@ func run(args []string) error {
 		path      = fs.String("scenario", "", "scenario JSON path (required)")
 		clustID   = fs.Int("cluster", 0, "cluster index this agent manages")
 		listen    = fs.String("listen", "127.0.0.1:7070", "listen address")
-		debugAddr = fs.String("debug-addr", "", "serve /metrics, /debug/vars, /debug/trace and /debug/pprof on this address; also enables telemetry")
+		debugAddr = fs.String("debug-addr", "", "serve /metrics, /debug/vars, /debug/trace, /debug/flight and /debug/pprof on this address; also enables telemetry")
 		verbose   = fs.Bool("v", false, "structured debug logging to stderr")
+
+		flightSample = fs.Int("flight-sample", 1, "flight recorder: record events for 1-in-N clients (deterministic hash of the client ID)")
+		flightCap    = fs.Int("flight-cap", 0, "flight recorder ring capacity (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -61,6 +64,7 @@ func run(args []string) error {
 			logLevel = -4 // slog debug
 		}
 		tel = cloudalloc.NewTelemetry(cloudalloc.NewTextLogger(os.Stderr, logLevel))
+		cloudalloc.ConfigureFlight(tel, *flightCap, *flightSample)
 		dl, err := net.Listen("tcp", *debugAddr)
 		if err != nil {
 			return fmt.Errorf("debug listener: %w", err)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net"
@@ -66,10 +67,10 @@ func TestRunServesDebugEndpoints(t *testing.T) {
 		time.Sleep(20 * time.Millisecond)
 	}
 	defer agent.Close()
-	if k, err := agent.ClusterID(); err != nil || k != 0 {
+	if k, err := agent.ClusterID(context.Background()); err != nil || k != 0 {
 		t.Fatalf("ClusterID = %v, %v", k, err)
 	}
-	if _, err := agent.Evaluate(0); err != nil {
+	if _, err := agent.Evaluate(context.Background(), 0); err != nil {
 		t.Fatal(err)
 	}
 

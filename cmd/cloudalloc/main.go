@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -84,17 +85,21 @@ func runGen(args []string) error {
 func runSolve(args []string) error {
 	fs := flag.NewFlagSet("solve", flag.ContinueOnError)
 	var (
-		path     = fs.String("scenario", "", "scenario JSON path (required)")
-		method   = fs.String("method", "proposed", "proposed, ps, montecarlo, annealing, genetic or exhaustive")
-		seed     = fs.Int64("seed", 1, "solver seed")
-		parallel = fs.Bool("parallel", false, "parallel per-cluster evaluation")
-		workers  = fs.Int("workers", 0, "fan-out workers for multi-start, Monte-Carlo draws and the PS sweep (0 = GOMAXPROCS, 1 = sequential; results are identical either way)")
-		draws    = fs.Int("draws", 200, "Monte-Carlo draws")
-		topk     = fs.Int("topk", 0, "proposed: evaluate only the top-k index-ranked clusters per client (0 = exhaustive scan)")
-		shards   = fs.Int("shards", 0, "proposed: partition clusters across this many parallel shards (0/1 = unsharded)")
-		simulate = fs.Bool("simulate", false, "validate the result with the discrete-event simulator")
-		save     = fs.String("save", "", "write the resulting allocation to this JSON file")
-		metrics  = fs.Bool("metrics", false, "collect solver/simulator telemetry and dump it (Prometheus text) to stderr")
+		path         = fs.String("scenario", "", "scenario JSON path (required)")
+		method       = fs.String("method", "proposed", "proposed, ps, montecarlo, annealing, genetic or exhaustive")
+		seed         = fs.Int64("seed", 1, "solver seed")
+		parallel     = fs.Bool("parallel", false, "parallel per-cluster evaluation")
+		workers      = fs.Int("workers", 0, "fan-out workers for multi-start, Monte-Carlo draws and the PS sweep (0 = GOMAXPROCS, 1 = sequential; results are identical either way)")
+		draws        = fs.Int("draws", 200, "Monte-Carlo draws")
+		topk         = fs.Int("topk", 0, "proposed: evaluate only the top-k index-ranked clusters per client (0 = exhaustive scan)")
+		shards       = fs.Int("shards", 0, "proposed: partition clusters across this many parallel shards (0/1 = unsharded)")
+		simulate     = fs.Bool("simulate", false, "validate the result with the discrete-event simulator")
+		save         = fs.String("save", "", "write the resulting allocation to this JSON file")
+		metrics      = fs.Bool("metrics", false, "collect solver/simulator telemetry and dump it (Prometheus text) to stderr")
+		traceOut     = fs.String("trace-out", "", "write the solve's span tree as Chrome trace-event JSON to this file (Perfetto-loadable; implies telemetry)")
+		flightOut    = fs.String("flight-out", "", "write the flight recorder's solver decisions as JSON to this file (implies telemetry)")
+		flightSample = fs.Int("flight-sample", 1, "record flight events for 1-in-N clients (deterministic hash of the client ID)")
+		flightCap    = fs.Int("flight-cap", 0, "flight recorder ring capacity (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -107,8 +112,9 @@ func runSolve(args []string) error {
 		return err
 	}
 	var tel *cloudalloc.Telemetry
-	if *metrics {
+	if *metrics || *traceOut != "" || *flightOut != "" {
 		tel = cloudalloc.NewTelemetry(nil)
+		cloudalloc.ConfigureFlight(tel, *flightCap, *flightSample)
 	}
 
 	var a *cloudalloc.Allocation
@@ -128,6 +134,7 @@ func runSolve(args []string) error {
 		}
 		fmt.Printf("proposed: initial %.2f → final %.2f in %d local-search iters (%s)\n",
 			stats.InitialProfit, stats.FinalProfit, stats.LocalSearchIters, stats.Elapsed)
+		printAttribution(stats)
 	case "ps":
 		psCfg := cloudalloc.DefaultPSConfig()
 		psCfg.Workers = *workers
@@ -195,10 +202,60 @@ func runSolve(args []string) error {
 		fmt.Printf("simulation: %d requests completed, realized profit %.2f (analytic %.2f)\n",
 			res.Completed, res.Profit, res.AnalyticValue)
 	}
-	if tel != nil {
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		if err := cloudalloc.WriteChromeTrace(f, tel.Tracer.Snapshot()); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace written to %s (load in Perfetto or chrome://tracing)\n", *traceOut)
+	}
+	if *flightOut != "" {
+		events := tel.Flight.Snapshot()
+		f, err := os.Create(*flightOut)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(events); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("flight recorder: %d retained events written to %s\n", len(events), *flightOut)
+	}
+	if *metrics && tel != nil {
 		tel.Metrics.WritePrometheus(os.Stderr)
 	}
 	return nil
+}
+
+// printAttribution reports where the profit came from, phase by phase:
+// the greedy initial solution, then each local-search phase's delta.
+func printAttribution(stats cloudalloc.SolveStats) {
+	at, tm := stats.Attribution, stats.Timings
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "phase\tprofit Δ\ttime\n")
+	fmt.Fprintf(w, "greedy initial\t%+.2f\t%s\n", at.Initial, tm.Greedy)
+	fmt.Fprintf(w, "share adjust\t%+.2f\t\n", at.ShareAdjust)
+	fmt.Fprintf(w, "dispersion adjust\t%+.2f\t\n", at.DispersionAdjust)
+	fmt.Fprintf(w, "server turn-on\t%+.2f\t\n", at.TurnOn)
+	fmt.Fprintf(w, "server turn-off\t%+.2f\t%s (sweeps)\n", at.TurnOff, tm.Sweep)
+	fmt.Fprintf(w, "reassignment\t%+.2f\t%s\n", at.Reassign, tm.Reassign)
+	if at.Reconcile != 0 || tm.Reconcile != 0 {
+		fmt.Fprintf(w, "reconciliation\t%+.2f\t%s\n", at.Reconcile, tm.Reconcile)
+	}
+	fmt.Fprintf(w, "final\t%.2f\t(residual %+.2g)\n", at.Final, at.Residual())
+	w.Flush()
 }
 
 func printBreakdown(a *cloudalloc.Allocation) {

@@ -5,6 +5,7 @@
 package agentrpc
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -54,11 +55,18 @@ func (o op) String() string {
 	return "unknown"
 }
 
-// request is the wire format of one call.
+// request is the wire format of one call. Trace carries the caller's
+// trace context across the process boundary: the server rehydrates it
+// (telemetry.ContextWithRef) so its own spans — and any spans the agent
+// records while handling the call — parent into the manager's trace
+// tree. A zero Trace (older peers, tracing disabled) decodes fine and
+// leaves the server spans as roots, so the field is wire-compatible in
+// both directions.
 type request struct {
 	Op       op
 	Client   model.ClientID
 	Portions []alloc.Portion
+	Trace    telemetry.TraceRef
 }
 
 // response is the wire format of one reply.
@@ -140,6 +148,9 @@ func (s *Server) handle(conn net.Conn) {
 }
 
 func (s *Server) dispatch(req request) response {
+	// Rehydrate the caller's trace context: the server-side span (and any
+	// span the agent itself records) parents into the manager's tree.
+	ctx := telemetry.ContextWithRef(context.Background(), req.Trace)
 	var (
 		t0          time.Time
 		calls, errs *telemetry.Counter
@@ -150,7 +161,7 @@ func (s *Server) dispatch(req request) response {
 	if s.tel != nil {
 		calls, errs, latency, spanName = s.tel.handles(req.Op)
 		calls.Inc()
-		sp = s.tel.set.Start(spanName)
+		sp, ctx = s.tel.set.StartCtx(ctx, spanName)
 		t0 = time.Now()
 	}
 	s.mu.Lock()
@@ -158,21 +169,21 @@ func (s *Server) dispatch(req request) response {
 	var err error
 	switch req.Op {
 	case opClusterID:
-		resp.Cluster, err = s.agent.ClusterID()
+		resp.Cluster, err = s.agent.ClusterID(ctx)
 	case opReset:
-		err = s.agent.Reset()
+		err = s.agent.Reset(ctx)
 	case opEvaluate:
-		resp.Eval, err = s.agent.Evaluate(req.Client)
+		resp.Eval, err = s.agent.Evaluate(ctx, req.Client)
 	case opCommit:
-		err = s.agent.Commit(req.Client, req.Portions)
+		err = s.agent.Commit(ctx, req.Client, req.Portions)
 	case opRemove:
-		err = s.agent.Remove(req.Client)
+		err = s.agent.Remove(ctx, req.Client)
 	case opImprove:
-		resp.Improve, err = s.agent.Improve()
+		resp.Improve, err = s.agent.Improve(ctx)
 	case opProfit:
-		resp.Profit, err = s.agent.Profit()
+		resp.Profit, err = s.agent.Profit(ctx)
 	case opSnapshot:
-		resp.Snapshot, err = s.agent.Snapshot()
+		resp.Snapshot, err = s.agent.Snapshot(ctx)
 	default:
 		err = fmt.Errorf("agentrpc: unknown op %d", req.Op)
 	}
@@ -227,8 +238,12 @@ func Dial(addr string, opts ...Option) (*RemoteAgent, error) {
 // call performs one synchronous round trip. Every error is annotated
 // with the op name and the peer address so a multi-agent manager can
 // tell which cluster and which call failed; client-side RPC telemetry
-// (latency, calls, errors, spans) hangs off the same path.
-func (r *RemoteAgent) call(req request) (response, error) {
+// (latency, calls, errors, spans) hangs off the same path. The client
+// span's identity rides the wire in req.Trace so the server's span —
+// and the remote agent's own spans — become its children; with
+// client-side tracing disabled the caller's trace context is forwarded
+// unchanged, so the remote spans still join the caller's tree.
+func (r *RemoteAgent) call(ctx context.Context, req request) (response, error) {
 	var (
 		t0          time.Time
 		calls, errs *telemetry.Counter
@@ -239,9 +254,12 @@ func (r *RemoteAgent) call(req request) (response, error) {
 		var spanName string
 		calls, errs, latency, spanName = r.tel.handles(req.Op)
 		calls.Inc()
-		sp = r.tel.set.Start(spanName)
+		sp, _ = r.tel.set.StartCtx(ctx, spanName)
 		sp.Attr("peer", r.addr)
+		req.Trace = sp.Ref()
 		t0 = time.Now()
+	} else {
+		req.Trace = telemetry.RefFromContext(ctx)
 	}
 	resp, err := r.roundTrip(req)
 	if r.tel != nil {
@@ -275,50 +293,50 @@ func (r *RemoteAgent) roundTrip(req request) (response, error) {
 }
 
 // ClusterID implements cluster.Agent.
-func (r *RemoteAgent) ClusterID() (model.ClusterID, error) {
-	resp, err := r.call(request{Op: opClusterID})
+func (r *RemoteAgent) ClusterID(ctx context.Context) (model.ClusterID, error) {
+	resp, err := r.call(ctx, request{Op: opClusterID})
 	return resp.Cluster, err
 }
 
 // Reset implements cluster.Agent.
-func (r *RemoteAgent) Reset() error {
-	_, err := r.call(request{Op: opReset})
+func (r *RemoteAgent) Reset(ctx context.Context) error {
+	_, err := r.call(ctx, request{Op: opReset})
 	return err
 }
 
 // Evaluate implements cluster.Agent.
-func (r *RemoteAgent) Evaluate(id model.ClientID) (cluster.EvalResult, error) {
-	resp, err := r.call(request{Op: opEvaluate, Client: id})
+func (r *RemoteAgent) Evaluate(ctx context.Context, id model.ClientID) (cluster.EvalResult, error) {
+	resp, err := r.call(ctx, request{Op: opEvaluate, Client: id})
 	return resp.Eval, err
 }
 
 // Commit implements cluster.Agent.
-func (r *RemoteAgent) Commit(id model.ClientID, portions []alloc.Portion) error {
-	_, err := r.call(request{Op: opCommit, Client: id, Portions: portions})
+func (r *RemoteAgent) Commit(ctx context.Context, id model.ClientID, portions []alloc.Portion) error {
+	_, err := r.call(ctx, request{Op: opCommit, Client: id, Portions: portions})
 	return err
 }
 
 // Remove implements cluster.Agent.
-func (r *RemoteAgent) Remove(id model.ClientID) error {
-	_, err := r.call(request{Op: opRemove, Client: id})
+func (r *RemoteAgent) Remove(ctx context.Context, id model.ClientID) error {
+	_, err := r.call(ctx, request{Op: opRemove, Client: id})
 	return err
 }
 
 // Improve implements cluster.Agent.
-func (r *RemoteAgent) Improve() (cluster.ImproveStats, error) {
-	resp, err := r.call(request{Op: opImprove})
+func (r *RemoteAgent) Improve(ctx context.Context) (cluster.ImproveStats, error) {
+	resp, err := r.call(ctx, request{Op: opImprove})
 	return resp.Improve, err
 }
 
 // Profit implements cluster.Agent.
-func (r *RemoteAgent) Profit() (float64, error) {
-	resp, err := r.call(request{Op: opProfit})
+func (r *RemoteAgent) Profit(ctx context.Context) (float64, error) {
+	resp, err := r.call(ctx, request{Op: opProfit})
 	return resp.Profit, err
 }
 
 // Snapshot implements cluster.Agent.
-func (r *RemoteAgent) Snapshot() (map[model.ClientID][]alloc.Portion, error) {
-	resp, err := r.call(request{Op: opSnapshot})
+func (r *RemoteAgent) Snapshot(ctx context.Context) (map[model.ClientID][]alloc.Portion, error) {
+	resp, err := r.call(ctx, request{Op: opSnapshot})
 	return resp.Snapshot, err
 }
 

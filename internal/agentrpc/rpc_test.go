@@ -1,6 +1,7 @@
 package agentrpc
 
 import (
+	"context"
 	"math"
 	"net"
 	"testing"
@@ -10,6 +11,8 @@ import (
 	"repro/internal/model"
 	"repro/internal/workload"
 )
+
+var ctx = context.Background()
 
 // startServer serves cluster k of the scenario on a loopback listener and
 // returns a connected RemoteAgent.
@@ -58,40 +61,40 @@ func TestRemoteAgentRoundTrip(t *testing.T) {
 	scen := genScenario(t, 10)
 	remote := startServer(t, scen, 1)
 
-	if k, err := remote.ClusterID(); err != nil || k != 1 {
+	if k, err := remote.ClusterID(ctx); err != nil || k != 1 {
 		t.Fatalf("ClusterID = %v, %v", k, err)
 	}
-	bid, err := remote.Evaluate(3)
+	bid, err := remote.Evaluate(ctx, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !bid.Feasible || len(bid.Portions) == 0 {
 		t.Fatalf("bid = %+v", bid)
 	}
-	if err := remote.Commit(3, bid.Portions); err != nil {
+	if err := remote.Commit(ctx, 3, bid.Portions); err != nil {
 		t.Fatal(err)
 	}
-	p, err := remote.Profit()
+	p, err := remote.Profit(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if p == 0 {
 		t.Fatal("profit should be nonzero after commit")
 	}
-	snap, err := remote.Snapshot()
+	snap, err := remote.Snapshot(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(snap) != 1 {
 		t.Fatalf("snapshot = %v", snap)
 	}
-	if _, err := remote.Improve(); err != nil {
+	if _, err := remote.Improve(ctx); err != nil {
 		t.Fatal(err)
 	}
-	if err := remote.Remove(3); err != nil {
+	if err := remote.Remove(ctx, 3); err != nil {
 		t.Fatal(err)
 	}
-	if err := remote.Reset(); err != nil {
+	if err := remote.Reset(ctx); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -100,13 +103,13 @@ func TestRemoteAgentErrorsPropagate(t *testing.T) {
 	scen := genScenario(t, 5)
 	remote := startServer(t, scen, 0)
 	// Committing garbage portions must surface the server-side error.
-	bid, err := remote.Evaluate(0)
+	bid, err := remote.Evaluate(ctx, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	bad := bid.Portions
 	bad[0].Alpha = 0.5 // Σα no longer 1
-	if err := remote.Commit(0, bad[:1]); err == nil {
+	if err := remote.Commit(ctx, 0, bad[:1]); err == nil {
 		t.Fatal("invalid commit accepted remotely")
 	}
 }
@@ -197,11 +200,11 @@ func TestConcurrentConnectionsSerialize(t *testing.T) {
 			}
 			defer remote.Close()
 			for i := 0; i < 20; i++ {
-				if _, err := remote.Evaluate(0); err != nil {
+				if _, err := remote.Evaluate(ctx, 0); err != nil {
 					errs <- err
 					return
 				}
-				if _, err := remote.Profit(); err != nil {
+				if _, err := remote.Profit(ctx); err != nil {
 					errs <- err
 					return
 				}
@@ -219,14 +222,14 @@ func TestConcurrentConnectionsSerialize(t *testing.T) {
 func TestClientSurvivesServerClose(t *testing.T) {
 	scen := genScenario(t, 5)
 	remote := startServer(t, scen, 0)
-	if _, err := remote.Evaluate(0); err != nil {
+	if _, err := remote.Evaluate(ctx, 0); err != nil {
 		t.Fatal(err)
 	}
 	// Closing the client connection makes further calls fail cleanly.
 	if err := remote.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := remote.Evaluate(0); err == nil {
+	if _, err := remote.Evaluate(ctx, 0); err == nil {
 		t.Fatal("call on closed connection succeeded")
 	}
 }
@@ -264,7 +267,7 @@ func TestServerRejectsGarbageFrames(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer remote.Close()
-	if k, err := remote.ClusterID(); err != nil || k != 0 {
+	if k, err := remote.ClusterID(ctx); err != nil || k != 0 {
 		t.Fatalf("healthy client failed after garbage frame: %v %v", k, err)
 	}
 }

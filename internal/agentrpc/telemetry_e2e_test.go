@@ -96,6 +96,51 @@ func TestDistributedSolveTelemetry(t *testing.T) {
 		}
 	}
 
+	// The tentpole invariant across the RPC boundary: the manager's and
+	// the agents' tracers are separate rings (separate processes in real
+	// deployments), yet the trace context riding the wire request must
+	// stitch their spans into ONE tree rooted at manager.solve.
+	union := append(mgrTel.Tracer.Snapshot(), agentTel.Tracer.Snapshot()...)
+	byID := make(map[telemetry.ID]telemetry.SpanRecord, len(union))
+	var root telemetry.SpanRecord
+	var roots int
+	for _, sp := range union {
+		if sp.SpanID != 0 {
+			byID[sp.SpanID] = sp
+		}
+		if sp.Name == "manager.solve" {
+			root, roots = sp, roots+1
+		}
+	}
+	if roots != 1 {
+		t.Fatalf("want one manager.solve root, got %d", roots)
+	}
+	var agentSideInTrace int
+	for _, sp := range agentTel.Tracer.Snapshot() {
+		if sp.TraceID == root.TraceID {
+			agentSideInTrace++
+		}
+	}
+	if agentSideInTrace == 0 {
+		t.Fatal("no agent-side span joined the manager's trace: TraceRef did not cross the RPC boundary")
+	}
+	for _, sp := range union {
+		if sp.TraceID != root.TraceID {
+			continue // e.g. pre-solve cluster_id RPCs traced before the root opened
+		}
+		cur := sp
+		for hops := 0; cur.SpanID != root.SpanID; hops++ {
+			if hops > len(union) {
+				t.Fatalf("span %q: parent chain does not terminate at the root", sp.Name)
+			}
+			parent, ok := byID[cur.ParentID]
+			if !ok {
+				t.Fatalf("span %q: parent %s of %q missing from both tracers", sp.Name, cur.ParentID, cur.Name)
+			}
+			cur = parent
+		}
+	}
+
 	// Per-round timing satellite: the manager stats expose what the
 	// round spans measure.
 	if len(stats.RoundDurations) != stats.ImproveRounds {

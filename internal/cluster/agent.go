@@ -7,6 +7,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/alloc"
@@ -32,24 +33,27 @@ type ImproveStats struct {
 	Profit        float64
 }
 
-// Agent is the cluster-side interface of the distributed solver.
+// Agent is the cluster-side interface of the distributed solver. Every
+// operation takes a context carrying the manager's trace context
+// (telemetry.RefFromContext), so spans an agent records — in-process or
+// on the far side of an RPC hop — parent into the manager's trace tree.
 type Agent interface {
 	// ClusterID identifies the cluster the agent manages.
-	ClusterID() (model.ClusterID, error)
+	ClusterID(ctx context.Context) (model.ClusterID, error)
 	// Reset clears all assignments (start of a fresh initial solution).
-	Reset() error
+	Reset(ctx context.Context) error
 	// Evaluate bids for hosting client id against current cluster state.
-	Evaluate(id model.ClientID) (EvalResult, error)
+	Evaluate(ctx context.Context, id model.ClientID) (EvalResult, error)
 	// Commit places client id with the given portions.
-	Commit(id model.ClientID, portions []alloc.Portion) error
+	Commit(ctx context.Context, id model.ClientID, portions []alloc.Portion) error
 	// Remove unassigns client id.
-	Remove(id model.ClientID) error
+	Remove(ctx context.Context, id model.ClientID) error
 	// Improve runs one round of cluster-local search phases.
-	Improve() (ImproveStats, error)
+	Improve(ctx context.Context) (ImproveStats, error)
 	// Profit returns the cluster-local profit.
-	Profit() (float64, error)
+	Profit(ctx context.Context) (float64, error)
 	// Snapshot returns the cluster's current assignments.
-	Snapshot() (map[model.ClientID][]alloc.Portion, error)
+	Snapshot(ctx context.Context) (map[model.ClientID][]alloc.Portion, error)
 	// Close releases agent resources.
 	Close() error
 }
@@ -84,17 +88,17 @@ func NewLocalAgent(scen *model.Scenario, k model.ClusterID, cfg core.Config) (*L
 }
 
 // ClusterID implements Agent.
-func (ag *LocalAgent) ClusterID() (model.ClusterID, error) { return ag.k, nil }
+func (ag *LocalAgent) ClusterID(ctx context.Context) (model.ClusterID, error) { return ag.k, nil }
 
 // Reset implements Agent.
-func (ag *LocalAgent) Reset() error {
+func (ag *LocalAgent) Reset(ctx context.Context) error {
 	ag.a = alloc.New(ag.solver.Scenario())
 	ag.a.Instrument(ag.tel)
 	return nil
 }
 
 // Evaluate implements Agent.
-func (ag *LocalAgent) Evaluate(id model.ClientID) (EvalResult, error) {
+func (ag *LocalAgent) Evaluate(ctx context.Context, id model.ClientID) (EvalResult, error) {
 	est, portions, err := ag.solver.AssignDistribute(ag.a, id, ag.k)
 	if err != nil {
 		// Infeasibility is a valid bid ("pass"), not a transport error.
@@ -104,19 +108,24 @@ func (ag *LocalAgent) Evaluate(id model.ClientID) (EvalResult, error) {
 }
 
 // Commit implements Agent.
-func (ag *LocalAgent) Commit(id model.ClientID, portions []alloc.Portion) error {
+func (ag *LocalAgent) Commit(ctx context.Context, id model.ClientID, portions []alloc.Portion) error {
 	return ag.a.Assign(id, ag.k, portions)
 }
 
 // Remove implements Agent.
-func (ag *LocalAgent) Remove(id model.ClientID) error {
+func (ag *LocalAgent) Remove(ctx context.Context, id model.ClientID) error {
 	ag.a.Unassign(id)
 	return nil
 }
 
 // Improve implements Agent: one sweep of the paper's cluster-local
-// phases.
-func (ag *LocalAgent) Improve() (ImproveStats, error) {
+// phases. The sweep records an agent.improve span under the caller's
+// trace context — across an RPC hop this is the leaf of the manager's
+// trace tree.
+func (ag *LocalAgent) Improve(ctx context.Context) (ImproveStats, error) {
+	sp, ctx := ag.tel.StartCtx(ctx, "agent.improve")
+	sp.Attr("cluster", int(ag.k))
+	defer sp.End()
 	scen := ag.solver.Scenario()
 	for _, j := range scen.Cloud.ClusterServers(ag.k) {
 		ag.solver.AdjustResourceShares(ag.a, j)
@@ -131,7 +140,7 @@ func (ag *LocalAgent) Improve() (ImproveStats, error) {
 		Activations:   ag.solver.TurnOnServers(ag.a, ag.k),
 		Deactivations: ag.solver.TurnOffServers(ag.a, ag.k),
 	}
-	p, err := ag.Profit()
+	p, err := ag.Profit(ctx)
 	if err != nil {
 		return st, err
 	}
@@ -143,12 +152,12 @@ func (ag *LocalAgent) Improve() (ImproveStats, error) {
 // the allocation's incremental ledger — O(entries touched since the last
 // evaluation) instead of a full scan over clients and servers, so the
 // manager can poll agents every improvement round at scale.
-func (ag *LocalAgent) Profit() (float64, error) {
+func (ag *LocalAgent) Profit(ctx context.Context) (float64, error) {
 	return ag.a.ClusterProfit(ag.k), nil
 }
 
 // Snapshot implements Agent.
-func (ag *LocalAgent) Snapshot() (map[model.ClientID][]alloc.Portion, error) {
+func (ag *LocalAgent) Snapshot(ctx context.Context) (map[model.ClientID][]alloc.Portion, error) {
 	out := make(map[model.ClientID][]alloc.Portion)
 	scen := ag.solver.Scenario()
 	for i := range scen.Clients {

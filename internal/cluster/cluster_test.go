@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -10,6 +11,8 @@ import (
 	"repro/internal/model"
 	"repro/internal/workload"
 )
+
+var testCtx = context.Background()
 
 func genScenario(t *testing.T, n int, seed int64) *model.Scenario {
 	t.Helper()
@@ -74,37 +77,37 @@ func TestAgentLifecycle(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer ag.Close()
-	if k, err := ag.ClusterID(); err != nil || k != 0 {
+	if k, err := ag.ClusterID(testCtx); err != nil || k != 0 {
 		t.Fatalf("ClusterID = %v, %v", k, err)
 	}
-	bid, err := ag.Evaluate(0)
+	bid, err := ag.Evaluate(testCtx, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !bid.Feasible {
 		t.Fatal("fresh cluster should host client 0")
 	}
-	if err := ag.Commit(0, bid.Portions); err != nil {
+	if err := ag.Commit(testCtx, 0, bid.Portions); err != nil {
 		t.Fatal(err)
 	}
-	p1, err := ag.Profit()
+	p1, err := ag.Profit(testCtx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	snap, err := ag.Snapshot()
+	snap, err := ag.Snapshot(testCtx)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(snap) != 1 || len(snap[0]) == 0 {
 		t.Fatalf("snapshot = %v", snap)
 	}
-	if _, err := ag.Improve(); err != nil {
+	if _, err := ag.Improve(testCtx); err != nil {
 		t.Fatal(err)
 	}
-	if err := ag.Remove(0); err != nil {
+	if err := ag.Remove(testCtx, 0); err != nil {
 		t.Fatal(err)
 	}
-	p2, err := ag.Profit()
+	p2, err := ag.Profit(testCtx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +117,7 @@ func TestAgentLifecycle(t *testing.T) {
 	if p1 == 0 {
 		t.Fatal("profit with a client should be nonzero")
 	}
-	if err := ag.Reset(); err != nil {
+	if err := ag.Reset(testCtx); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -141,6 +144,15 @@ func TestManagerSolveMatchesQuality(t *testing.T) {
 	}
 	if stats.FinalProfit < stats.InitialProfit-1e-9 {
 		t.Fatalf("improvement rounds regressed: %+v", stats)
+	}
+	// Stage attribution: the three deltas are defined as differences, so
+	// the identity is exact, and the endpoints must match the stats.
+	at := stats.Attribution
+	if at.Initial != stats.InitialProfit || at.Final != stats.FinalProfit {
+		t.Fatalf("attribution endpoints %+v disagree with stats %+v", at, stats)
+	}
+	if got := at.Initial + at.Improve + at.CentralReassign; math.Abs(got-at.Final) > 1e-9 {
+		t.Fatalf("attribution %+v does not sum to final: %v", at, got)
 	}
 
 	// The distributed solve should be competitive with the sequential
@@ -243,32 +255,32 @@ type failingAgent struct {
 	failReset    bool
 }
 
-func (f *failingAgent) Evaluate(id model.ClientID) (EvalResult, error) {
+func (f *failingAgent) Evaluate(ctx context.Context, id model.ClientID) (EvalResult, error) {
 	if f.failEvaluate {
 		return EvalResult{}, errTestInjected
 	}
-	return f.Agent.Evaluate(id)
+	return f.Agent.Evaluate(ctx, id)
 }
 
-func (f *failingAgent) Improve() (ImproveStats, error) {
+func (f *failingAgent) Improve(ctx context.Context) (ImproveStats, error) {
 	if f.failImprove {
 		return ImproveStats{}, errTestInjected
 	}
-	return f.Agent.Improve()
+	return f.Agent.Improve(ctx)
 }
 
-func (f *failingAgent) Snapshot() (map[model.ClientID][]alloc.Portion, error) {
+func (f *failingAgent) Snapshot(ctx context.Context) (map[model.ClientID][]alloc.Portion, error) {
 	if f.failSnapshot {
 		return nil, errTestInjected
 	}
-	return f.Agent.Snapshot()
+	return f.Agent.Snapshot(ctx)
 }
 
-func (f *failingAgent) Reset() error {
+func (f *failingAgent) Reset(ctx context.Context) error {
 	if f.failReset {
 		return errTestInjected
 	}
-	return f.Agent.Reset()
+	return f.Agent.Reset(ctx)
 }
 
 var errTestInjected = errors.New("injected failure")
@@ -320,7 +332,7 @@ func TestEvaluateReportsInfeasibleAsPass(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bid, err := ag.Evaluate(0)
+	bid, err := ag.Evaluate(testCtx, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

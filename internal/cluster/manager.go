@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -62,6 +63,18 @@ func DefaultManagerConfig() ManagerConfig {
 	}
 }
 
+// ManagerAttribution splits a distributed solve's final profit into the
+// contribution of each manager-level phase: the greedy initial pass, the
+// distributed improvement rounds, and the central reassignment polish.
+// Initial + Improve + CentralReassign = Final up to float summation
+// order — the manager-side counterpart of core.Attribution.
+type ManagerAttribution struct {
+	Initial         float64 `json:"initial"`
+	Improve         float64 `json:"improve"`
+	CentralReassign float64 `json:"central_reassign"`
+	Final           float64 `json:"final"`
+}
+
 // ManagerStats summarizes a distributed solve.
 type ManagerStats struct {
 	InitialProfit float64
@@ -80,6 +93,8 @@ type ManagerStats struct {
 	// RoundDurations has one entry per improvement round, in order —
 	// the distributed counterpart of core.Stats timing.
 	RoundDurations []time.Duration
+	// Attribution is the per-phase profit breakdown of the solve.
+	Attribution ManagerAttribution
 }
 
 // mgrTel holds the manager's pre-resolved metric handles; nil disables.
@@ -109,11 +124,11 @@ func newMgrTel(set *telemetry.Set, numK int) *mgrTel {
 	return t
 }
 
-func (t *mgrTel) start(name string) telemetry.Span {
+func (t *mgrTel) startCtx(ctx context.Context, name string) (telemetry.Span, context.Context) {
 	if t == nil {
-		return telemetry.Span{}
+		return telemetry.Span{}, ctx
 	}
-	return t.set.Start(name)
+	return t.set.StartCtx(ctx, name)
 }
 
 // Manager is the paper's central resource manager: it owns the client
@@ -139,7 +154,7 @@ func NewManager(scen *model.Scenario, agents []Agent, cfg ManagerConfig) (*Manag
 		return nil, fmt.Errorf("cluster: %d agents for %d clusters", len(agents), scen.Cloud.NumClusters())
 	}
 	for k, ag := range agents {
-		id, err := ag.ClusterID()
+		id, err := ag.ClusterID(context.Background())
 		if err != nil {
 			return nil, fmt.Errorf("cluster: agent %d: %w", k, err)
 		}
@@ -178,23 +193,32 @@ func NewManager(scen *model.Scenario, agents []Agent, cfg ManagerConfig) (*Manag
 // Solve runs the distributed heuristic and merges the agents' final
 // cluster states into a single allocation.
 func (m *Manager) Solve() (*alloc.Allocation, ManagerStats, error) {
+	return m.SolveCtx(context.Background())
+}
+
+// SolveCtx is Solve under a caller-provided context. The whole solve —
+// initial passes, improvement rounds, every RPC to every agent, and the
+// agents' own spans on the far side of the wire — records as one trace
+// tree rooted at the manager.solve span (or at the caller's span when
+// ctx already carries trace context).
+func (m *Manager) SolveCtx(ctx context.Context) (*alloc.Allocation, ManagerStats, error) {
 	start := time.Now()
 	rng := rand.New(rand.NewSource(m.cfg.Seed))
-	sp := m.tel.start("manager.solve")
+	sp, ctx := m.tel.startCtx(ctx, "manager.solve")
 	sp.Attr("clients", m.scen.NumClients())
 	sp.Attr("clusters", len(m.agents))
 	if m.tel != nil {
 		m.tel.solves.Inc()
 	}
 
-	isp := m.tel.start("manager.initial_pass")
+	isp, ictx := m.tel.startCtx(ctx, "manager.initial_pass")
 	var (
 		bestAssign map[model.ClientID]assignment
 		bestProfit float64
 		haveBest   bool
 	)
 	for iter := 0; iter < m.cfg.NumInitSolutions; iter++ {
-		assignments, profit, err := m.initialPass(rng)
+		assignments, profit, err := m.initialPass(ictx, rng)
 		if err != nil {
 			return nil, ManagerStats{}, err
 		}
@@ -204,7 +228,7 @@ func (m *Manager) Solve() (*alloc.Allocation, ManagerStats, error) {
 	}
 
 	// Load the best initial solution back into the agents.
-	if err := m.load(bestAssign); err != nil {
+	if err := m.load(ictx, bestAssign); err != nil {
 		return nil, ManagerStats{}, err
 	}
 	stats := ManagerStats{InitialProfit: bestProfit, InitElapsed: time.Since(start)}
@@ -217,9 +241,9 @@ func (m *Manager) Solve() (*alloc.Allocation, ManagerStats, error) {
 	prev := bestProfit
 	for round := 0; round < m.cfg.MaxImproveRounds; round++ {
 		stats.ImproveRounds = round + 1
-		rsp := m.tel.start("manager.improve_round")
+		rsp, rctx := m.tel.startCtx(ctx, "manager.improve_round")
 		t0 := time.Now()
-		total, err := m.improveRound(&stats)
+		total, err := m.improveRound(rctx, &stats)
 		if err != nil {
 			return nil, ManagerStats{}, err
 		}
@@ -239,8 +263,9 @@ func (m *Manager) Solve() (*alloc.Allocation, ManagerStats, error) {
 		prev = total
 	}
 	stats.FinalProfit = prev
+	improved := prev // profit after the distributed rounds, pre-polish
 
-	merged, err := m.merge()
+	merged, err := m.merge(ctx)
 	if err != nil {
 		return nil, ManagerStats{}, err
 	}
@@ -249,12 +274,12 @@ func (m *Manager) Solve() (*alloc.Allocation, ManagerStats, error) {
 	// manager can make — moving clients across clusters on the merged
 	// global state (paper Section V).
 	if m.reassigner != nil {
-		csp := m.tel.start("manager.central_reassign")
+		csp, cctx := m.tel.startCtx(ctx, "manager.central_reassign")
 		if m.cfg.Telemetry != nil {
 			merged.Instrument(m.cfg.Telemetry)
 		}
 		for pass := 0; pass < m.cfg.MaxReassignPasses; pass++ {
-			moved := m.reassigner.ReassignmentPass(merged)
+			moved := m.reassigner.ReassignmentPassCtx(cctx, merged)
 			stats.Reassignments += moved
 			if moved == 0 {
 				break
@@ -265,6 +290,12 @@ func (m *Manager) Solve() (*alloc.Allocation, ManagerStats, error) {
 		}
 		csp.Attr("moves", stats.Reassignments)
 		csp.End()
+	}
+	stats.Attribution = ManagerAttribution{
+		Initial:         stats.InitialProfit,
+		Improve:         improved - stats.InitialProfit,
+		CentralReassign: stats.FinalProfit - improved,
+		Final:           stats.FinalProfit,
 	}
 	stats.Unplaced = m.scen.NumClients() - merged.NumAssigned()
 	stats.Elapsed = time.Since(start)
@@ -283,9 +314,9 @@ type assignment struct {
 
 // initialPass runs one randomized greedy pass across the agents and
 // returns the assignment map and its total profit.
-func (m *Manager) initialPass(rng *rand.Rand) (map[model.ClientID]assignment, float64, error) {
+func (m *Manager) initialPass(ctx context.Context, rng *rand.Rand) (map[model.ClientID]assignment, float64, error) {
 	for _, ag := range m.agents {
-		if err := ag.Reset(); err != nil {
+		if err := ag.Reset(ctx); err != nil {
 			return nil, 0, fmt.Errorf("cluster: reset: %w", err)
 		}
 	}
@@ -293,7 +324,7 @@ func (m *Manager) initialPass(rng *rand.Rand) (map[model.ClientID]assignment, fl
 	var heap bidHeap
 	for _, ci := range rng.Perm(m.scen.NumClients()) {
 		id := model.ClientID(ci)
-		bids, err := m.broadcastEvaluate(id)
+		bids, err := m.broadcastEvaluate(ctx, id)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -309,13 +340,13 @@ func (m *Manager) initialPass(rng *rand.Rand) (map[model.ClientID]assignment, fl
 		for len(heap) > 0 {
 			var top bidRef
 			heap, top = heap.pop()
-			if err := m.agents[top.k].Commit(id, bids[top.k].Portions); err == nil {
+			if err := m.agents[top.k].Commit(ctx, id, bids[top.k].Portions); err == nil {
 				assignments[id] = assignment{cluster: model.ClusterID(top.k), portions: bids[top.k].Portions}
 				break
 			}
 		}
 	}
-	profit, err := m.totalProfit()
+	profit, err := m.totalProfit(ctx)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -380,7 +411,7 @@ func (h bidHeap) pop() (bidHeap, bidRef) {
 
 // broadcastEvaluate collects all agents' bids for a client in parallel —
 // the distributed analogue of trying every cluster.
-func (m *Manager) broadcastEvaluate(id model.ClientID) ([]EvalResult, error) {
+func (m *Manager) broadcastEvaluate(ctx context.Context, id model.ClientID) ([]EvalResult, error) {
 	bids := make([]EvalResult, len(m.agents))
 	errs := make([]error, len(m.agents))
 	var wg sync.WaitGroup
@@ -388,7 +419,7 @@ func (m *Manager) broadcastEvaluate(id model.ClientID) ([]EvalResult, error) {
 		wg.Add(1)
 		go func(k int) {
 			defer wg.Done()
-			bids[k], errs[k] = m.agents[k].Evaluate(id)
+			bids[k], errs[k] = m.agents[k].Evaluate(ctx, id)
 		}(k)
 	}
 	wg.Wait()
@@ -403,7 +434,7 @@ func (m *Manager) broadcastEvaluate(id model.ClientID) ([]EvalResult, error) {
 // per cluster (in client-ID order within each group, for deterministic
 // agent-side state) and run concurrently, one goroutine per agent —
 // the same fan-out shape as broadcastEvaluate.
-func (m *Manager) load(assignments map[model.ClientID]assignment) error {
+func (m *Manager) load(ctx context.Context, assignments map[model.ClientID]assignment) error {
 	groups := make([][]model.ClientID, len(m.agents))
 	for i := 0; i < m.scen.NumClients(); i++ {
 		id := model.ClientID(i)
@@ -417,12 +448,12 @@ func (m *Manager) load(assignments map[model.ClientID]assignment) error {
 		wg.Add(1)
 		go func(k int) {
 			defer wg.Done()
-			if err := m.agents[k].Reset(); err != nil {
+			if err := m.agents[k].Reset(ctx); err != nil {
 				errs[k] = fmt.Errorf("cluster: reset: %w", err)
 				return
 			}
 			for _, id := range groups[k] {
-				if err := m.agents[k].Commit(id, assignments[id].portions); err != nil {
+				if err := m.agents[k].Commit(ctx, id, assignments[id].portions); err != nil {
 					errs[k] = fmt.Errorf("cluster: replay client %d: %w", id, err)
 					return
 				}
@@ -435,7 +466,7 @@ func (m *Manager) load(assignments map[model.ClientID]assignment) error {
 
 // improveRound runs one Improve on every agent in parallel and returns
 // the total profit afterwards.
-func (m *Manager) improveRound(stats *ManagerStats) (float64, error) {
+func (m *Manager) improveRound(ctx context.Context, stats *ManagerStats) (float64, error) {
 	results := make([]ImproveStats, len(m.agents))
 	errs := make([]error, len(m.agents))
 	var wg sync.WaitGroup
@@ -443,7 +474,7 @@ func (m *Manager) improveRound(stats *ManagerStats) (float64, error) {
 		wg.Add(1)
 		go func(k int) {
 			defer wg.Done()
-			results[k], errs[k] = m.agents[k].Improve()
+			results[k], errs[k] = m.agents[k].Improve(ctx)
 		}(k)
 	}
 	wg.Wait()
@@ -467,7 +498,7 @@ func (m *Manager) improveRound(stats *ManagerStats) (float64, error) {
 // O(mutations since the previous round), not O(cloud). The queries fan
 // out one goroutine per agent; the sum folds in fixed agent order, so
 // the floating-point total is independent of scheduling.
-func (m *Manager) totalProfit() (float64, error) {
+func (m *Manager) totalProfit(ctx context.Context) (float64, error) {
 	profits := make([]float64, len(m.agents))
 	errs := make([]error, len(m.agents))
 	var wg sync.WaitGroup
@@ -475,7 +506,7 @@ func (m *Manager) totalProfit() (float64, error) {
 		wg.Add(1)
 		go func(k int) {
 			defer wg.Done()
-			p, err := m.agents[k].Profit()
+			p, err := m.agents[k].Profit(ctx)
 			if err != nil {
 				errs[k] = fmt.Errorf("cluster: profit of cluster %d: %w", k, err)
 				return
@@ -495,10 +526,10 @@ func (m *Manager) totalProfit() (float64, error) {
 }
 
 // merge combines every agent's snapshot into one allocation.
-func (m *Manager) merge() (*alloc.Allocation, error) {
+func (m *Manager) merge(ctx context.Context) (*alloc.Allocation, error) {
 	merged := alloc.New(m.scen)
 	for k, ag := range m.agents {
-		snap, err := ag.Snapshot()
+		snap, err := ag.Snapshot(ctx)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: snapshot of cluster %d: %w", k, err)
 		}

@@ -1,0 +1,76 @@
+package core
+
+import "time"
+
+// Attribution splits a solve's profit between its initial value and the
+// contribution of each local-search phase, read from the allocation's
+// incremental per-cluster ledger (O(touched) per read, so the breakdown
+// is always on — no telemetry required). The identity
+//
+//	Initial + PhaseSum() ≈ Final
+//
+// holds up to floating-point summation order: the ledger groups Kahan
+// sums per cluster, so the per-phase deltas and the final whole-cloud
+// profit fold the same terms in different orders. Residual() reports the
+// gap; tests bound it by the ledger's drift tolerance.
+type Attribution struct {
+	// Initial is the profit of the greedy initial solution (or the warm
+	// start) before any local search.
+	Initial float64 `json:"initial"`
+	// ShareAdjust .. TurnOff are the cumulative profit deltas of the
+	// per-cluster sweep phases across all improvement rounds.
+	ShareAdjust      float64 `json:"share_adjust"`
+	DispersionAdjust float64 `json:"dispersion_adjust"`
+	TurnOn           float64 `json:"turn_on"`
+	TurnOff          float64 `json:"turn_off"`
+	// Reassign is the cumulative delta of the reassignment passes (the
+	// whole-cloud pass, or the shard-scoped passes in sharded mode).
+	Reassign float64 `json:"reassign"`
+	// Reconcile is the cumulative delta of the sharded solve's serial
+	// cross-shard reconciliation passes (zero when not sharded).
+	Reconcile float64 `json:"reconcile"`
+	// Final is the profit after the last round.
+	Final float64 `json:"final"`
+}
+
+// PhaseSum is the total profit attributed to the local-search phases.
+func (at Attribution) PhaseSum() float64 {
+	return at.ShareAdjust + at.DispersionAdjust + at.TurnOn + at.TurnOff +
+		at.Reassign + at.Reconcile
+}
+
+// Residual is the part of Final − Initial the phase deltas do not
+// account for — floating-point regrouping only, bounded by the ledger
+// drift tolerance.
+func (at Attribution) Residual() float64 {
+	return at.Final - at.Initial - at.PhaseSum()
+}
+
+// PhaseTimings reports where a solve's wall-clock time went. In sharded
+// mode Sweep and Reassign sum the per-shard goroutines' busy time, so
+// they may exceed the solve's elapsed wall clock.
+type PhaseTimings struct {
+	// Greedy covers the initial-solution construction (all starts, or
+	// the warm-start replay plus re-placements).
+	Greedy time.Duration `json:"greedy"`
+	// Sweep covers the per-cluster phases (share adjust, dispersion
+	// adjust, turn on, turn off) across all rounds.
+	Sweep time.Duration `json:"sweep"`
+	// Reassign covers the reassignment passes across all rounds.
+	Reassign time.Duration `json:"reassign"`
+	// Reconcile covers the sharded solve's serial cross-shard
+	// reconciliation passes (zero when not sharded).
+	Reconcile time.Duration `json:"reconcile"`
+}
+
+// sweepDeltas carries one cluster sweep's per-phase profit deltas.
+type sweepDeltas struct {
+	share, disp, turnOn, turnOff float64
+}
+
+func (d *sweepDeltas) add(o sweepDeltas) {
+	d.share += o.share
+	d.disp += o.disp
+	d.turnOn += o.turnOn
+	d.turnOff += o.turnOff
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"math"
+	"os"
+	"testing"
+
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+// checkAttribution asserts the per-phase profit attribution identity:
+// the greedy initial profit plus the sum of every phase's delta must
+// reproduce the final profit up to ledger-style float regrouping (the
+// deltas are plain differences of Kahan-compensated cluster sums, so
+// the residual is bounded by the same drift tolerance the ledger uses).
+func checkAttribution(t *testing.T, st Stats) {
+	t.Helper()
+	at := st.Attribution
+	if at.Initial != st.InitialProfit || at.Final != st.FinalProfit {
+		t.Fatalf("attribution endpoints %v→%v disagree with stats %v→%v",
+			at.Initial, at.Final, st.InitialProfit, st.FinalProfit)
+	}
+	tol := 1e-6 * (1 + math.Abs(at.Final))
+	if r := math.Abs(at.Residual()); r > tol {
+		t.Fatalf("attribution does not account for the profit delta: initial %v + phases %v = %v, final %v (residual %v > %v)\n%+v",
+			at.Initial, at.PhaseSum(), at.Initial+at.PhaseSum(), at.Final, r, tol, at)
+	}
+}
+
+// TestAttributionIdentity checks Initial + Σphase ≈ Final on every
+// solve path: plain, index-pruned, sharded (with reconciliation), and
+// the warm start. Attribution is always on — no telemetry set needed.
+func TestAttributionIdentity(t *testing.T) {
+	scen := smallScenario(t, 60, 21)
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"plain", nil},
+		{"pruned", func(c *Config) { c.CandidateClusters = 2 }},
+		{"sharded", func(c *Config) { c.Shards = 2 }},
+		{"sharded_pruned", func(c *Config) { c.Shards = 2; c.CandidateClusters = 2 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := newTestSolver(t, scen, tc.mutate)
+			_, st, err := s.Solve()
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkAttribution(t, st)
+			if st.Timings.Greedy <= 0 {
+				t.Fatal("greedy phase timing not recorded")
+			}
+			if st.LocalSearchIters > 0 && st.Timings.Sweep <= 0 {
+				t.Fatal("sweep phase timing not recorded despite local-search rounds")
+			}
+		})
+	}
+
+	t.Run("warmstart", func(t *testing.T) {
+		s := newTestSolver(t, scen, nil)
+		a, _, err := s.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		next := smallScenario(t, 60, 21)
+		for i := range next.Clients {
+			next.Clients[i].ArrivalRate *= 1.05
+			next.Clients[i].PredictedRate *= 1.05
+		}
+		s2 := newTestSolver(t, next, nil)
+		_, st, err := s2.SolveFrom(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkAttribution(t, st)
+	})
+}
+
+// TestAttributionWithTelemetry pins that enabling the tracer and flight
+// recorder does not change the attribution (the deltas are computed the
+// same way with telemetry on and off).
+func TestAttributionWithTelemetry(t *testing.T) {
+	scen := smallScenario(t, 40, 22)
+	off := newTestSolver(t, scen, nil)
+	_, stOff, err := off.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	on := newTestSolver(t, scen, func(c *Config) { c.Telemetry = telemetry.New(nil) })
+	_, stOn, err := on.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stOn.Attribution != stOff.Attribution {
+		t.Fatalf("telemetry changed attribution:\noff %+v\non  %+v", stOff.Attribution, stOn.Attribution)
+	}
+	checkAttribution(t, stOn)
+}
+
+// TestAttributionIdentity10k is the acceptance-scale check (CI scale
+// smoke job, SCALE_SMOKE=1): on a 10k-client index-pruned sharded solve
+// the attribution must still account for the whole profit delta.
+func TestAttributionIdentity10k(t *testing.T) {
+	if os.Getenv("SCALE_SMOKE") == "" {
+		t.Skip("set SCALE_SMOKE=1 to run (CI scale smoke job)")
+	}
+	if raceEnabled {
+		t.Skip("scale smoke runs with -race off")
+	}
+	scen, err := workload.Generate(workload.ScaleConfig(10_000, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestSolver(t, scen, func(c *Config) {
+		c.NumInitSolutions = 1
+		c.MaxLocalSearchIters = 1
+		c.AlphaGranularity = 6
+		c.Shards = scen.Cloud.NumClusters() / 8
+		c.CandidateClusters = 8
+	})
+	_, st, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAttribution(t, st)
+	t.Logf("10k attribution: %+v (timings %+v)", st.Attribution, st.Timings)
+}

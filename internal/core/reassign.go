@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/alloc"
 	"repro/internal/model"
+	"repro/internal/telemetry"
 )
 
 // ReassignmentPass is the cloud-level move of the paper's local search:
@@ -27,16 +29,33 @@ import (
 // DisableParallelReassign selects the legacy one-client-at-a-time pass
 // instead.
 func (s *Solver) ReassignmentPass(a *alloc.Allocation) int {
+	return s.ReassignmentPassCtx(context.Background(), a)
+}
+
+// ReassignmentPassCtx is ReassignmentPass under a caller-provided
+// context: the pass's flight-recorder events carry the trace context of
+// the span in ctx, linking each commit/restore failure to the round it
+// happened in.
+func (s *Solver) ReassignmentPassCtx(ctx context.Context, a *alloc.Allocation) int {
+	return s.reassignmentPass(ctx, a, false)
+}
+
+// reassignmentPass dispatches between the pipelined pass and the legacy
+// sequential one. reconcile marks the sharded solve's serial cross-shard
+// reconciliation: successful moves are then logged (sampled) to the
+// flight recorder as reconcile_move events.
+func (s *Solver) reassignmentPass(ctx context.Context, a *alloc.Allocation, reconcile bool) int {
 	if s.cfg.DisableParallelReassign {
-		return s.reassignmentPassSequential(a)
+		return s.reassignmentPassSequential(ctx, a, reconcile)
 	}
-	return s.reassignmentPassPipelined(a)
+	return s.reassignmentPassPipelined(ctx, a, reconcile)
 }
 
 // reassignmentPassSequential is the pre-pipeline baseline: score and
 // commit one client at a time in ID order, each client seeing the moves
 // of every client before it.
-func (s *Solver) reassignmentPassSequential(a *alloc.Allocation) int {
+func (s *Solver) reassignmentPassSequential(ctx context.Context, a *alloc.Allocation, reconcile bool) int {
+	ref := telemetry.RefFromContext(ctx)
 	numK := s.scen.Cloud.NumClusters()
 	var moves int
 	var commitFails, restoreFails int64
@@ -95,9 +114,18 @@ func (s *Solver) reassignmentPassSequential(a *alloc.Allocation) int {
 		case bestPortions != nil && bestGain > prevGain+1e-9 && bestGain > outGain:
 			if err := a.Assign(i, bestK, bestPortions); err == nil {
 				moves++
+				if reconcile {
+					if f := s.flightSampled(i); f != nil {
+						f.Record(telemetry.Event{Kind: telemetry.EventReconcileMove,
+							Client: int64(i), Cluster: int64(bestK),
+							Delta: bestGain, Trace: ref})
+					}
+				}
 				continue
 			} else {
 				commitFails++
+				s.flightRecord(telemetry.Event{Kind: telemetry.EventCommitFail,
+					Client: int64(i), Cluster: int64(bestK), Delta: bestGain, Trace: ref})
 				s.debugf("reassign: commit of best placement failed",
 					"client", i, "cluster", bestK, "err", err)
 			}
@@ -108,6 +136,8 @@ func (s *Solver) reassignmentPassSequential(a *alloc.Allocation) int {
 				// it is now unserved, which must not pass silently.
 				commitFails++
 				restoreFails++
+				s.flightRecord(telemetry.Event{Kind: telemetry.EventRestoreFail,
+					Client: int64(i), Cluster: int64(prevK), Trace: ref})
 				s.debugf("reassign: restore of previous placement failed, client unserved",
 					"client", i, "cluster", prevK, "err", err)
 				continue

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sync"
@@ -9,6 +10,7 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/model"
+	"repro/internal/telemetry"
 )
 
 // The pipelined reassignment pass (the default, see ReassignmentPass)
@@ -143,7 +145,8 @@ func (s *Solver) reassignWorkers(n int) int {
 	return w
 }
 
-func (s *Solver) reassignmentPassPipelined(a *alloc.Allocation) int {
+func (s *Solver) reassignmentPassPipelined(ctx context.Context, a *alloc.Allocation, reconcile bool) int {
+	ref := telemetry.RefFromContext(ctx)
 	n := s.scen.NumClients()
 	st := s.takeReassignState(a, n)
 	defer s.storeReassignState(st)
@@ -277,23 +280,37 @@ func (s *Solver) reassignmentPassPipelined(a *alloc.Allocation) int {
 				// after all (borderline DP estimate). Restore and drop it —
 				// rescoring the unchanged state would reproduce it.
 				commitFails++
+				s.flightRecord(telemetry.Event{Kind: telemetry.EventCommitFail,
+					Client: int64(c.client), Cluster: int64(c.toK),
+					Delta: finiteOr0(c.delta), Trace: ref})
 				s.debugf("reassign: commit of scored candidate failed",
 					"client", c.client, "cluster", c.toK, "err", err)
 				if rbErr := txn.Rollback(); rbErr != nil {
 					restoreFails++
+					s.flightRecord(telemetry.Event{Kind: telemetry.EventRestoreFail,
+						Client: int64(c.client), Cluster: int64(c.fromK), Trace: ref})
 					s.debugf("reassign: rollback failed", "client", c.client, "err", rbErr)
 				}
 				continue
 			}
 		}
-		if txn.Delta() > c.minDelta {
+		if delta := txn.Delta(); delta > c.minDelta {
 			txn.Commit()
 			moves++
+			if reconcile {
+				if f := s.flightSampled(c.client); f != nil {
+					f.Record(telemetry.Event{Kind: telemetry.EventReconcileMove,
+						Client: int64(c.client), Cluster: int64(c.toK),
+						Delta: delta, Trace: ref})
+				}
+			}
 			// The commit changed the clusters this client's own decision
 			// depended on; make sure the next pass rescores it.
 			st.marks[c.client] = clientMark{}
 		} else if rbErr := txn.Rollback(); rbErr != nil {
 			restoreFails++
+			s.flightRecord(telemetry.Event{Kind: telemetry.EventRestoreFail,
+				Client: int64(c.client), Cluster: int64(c.fromK), Trace: ref})
 			s.debugf("reassign: rollback failed", "client", c.client, "err", rbErr)
 		}
 	}
@@ -460,6 +477,15 @@ func (s *Solver) scoreClient(a *alloc.Allocation, i model.ClientID, outGain floa
 		res.hasCand = true
 	}
 	return res
+}
+
+// finiteOr0 clamps non-finite deltas (the saturated-placement sentinel
+// is +Inf) so flight events stay JSON-encodable.
+func finiteOr0(x float64) float64 {
+	if math.IsInf(x, 0) || math.IsNaN(x) {
+		return 0
+	}
+	return x
 }
 
 // candBefore orders the commit queue: larger expected delta first,

@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"math"
 	"time"
 
 	"repro/internal/alloc"
 	"repro/internal/model"
 	"repro/internal/parallel"
+	"repro/internal/telemetry"
 )
 
 // Sharded solve (Config.Shards > 1): the clusters are partitioned into
@@ -86,10 +88,12 @@ func (p *shardPlan) rebuildOwners(a *alloc.Allocation) {
 	}
 }
 
-// solveSharded is the sharded twin of Solve.
-func (s *Solver) solveSharded() (*alloc.Allocation, Stats, error) {
+// solveSharded is the sharded twin of Solve. Per-shard spans are started
+// with the shard index as the explicit child index (StartCtxAt), so the
+// span tree — IDs included — is identical at any worker count.
+func (s *Solver) solveSharded(ctx context.Context) (*alloc.Allocation, Stats, error) {
 	start := time.Now()
-	sp := s.tel.start("solver.solve_sharded")
+	sp, ctx := s.tel.startCtx(ctx, "solver.solve_sharded")
 	if s.tel != nil {
 		s.tel.solves.Inc()
 		sp.Attr("clients", s.scen.NumClients())
@@ -113,10 +117,16 @@ func (s *Solver) solveSharded() (*alloc.Allocation, Stats, error) {
 	// shard: the multi-start diversification buys little once the cloud
 	// is sliced, and at shard scale one pass is the budget.
 	tGreedy := time.Now()
+	gsp, gctx := s.tel.startCtx(ctx, "solver.greedy")
 	plan.rebuildOwners(a)
 	gss := make([]*greedyState, numShards)
-	parallel.For(opts, numShards, func(w, sh int) {
+	gopts := opts
+	gopts.Ctx = gctx
+	parallel.For(gopts, numShards, func(w, sh int) {
+		ssp, sctx := s.tel.startCtxAt(gctx, "solver.shard_greedy", sh)
+		ssp.Attr("shard", sh)
 		gs := s.newGreedyState(a, plan.clusters[sh])
+		gs.setRef(telemetry.RefFromContext(sctx))
 		gss[sh] = gs
 		rng := parallel.Rand(s.cfg.Seed, uint64(sh))
 		clients := plan.owner[sh]
@@ -125,6 +135,7 @@ func (s *Solver) solveSharded() (*alloc.Allocation, Stats, error) {
 			// shard; reconciliation will pick it up).
 			_ = s.placeBest(a, clients[idx], gs)
 		}
+		ssp.End()
 	})
 	for _, gs := range gss {
 		gs.flushTelemetry(s.tel)
@@ -132,7 +143,9 @@ func (s *Solver) solveSharded() (*alloc.Allocation, Stats, error) {
 	if s.tel != nil {
 		s.tel.greedyDur.ObserveSince(tGreedy)
 	}
+	gsp.End()
 	stats := Stats{InitialProfit: a.Profit()}
+	stats.Timings.Greedy = time.Since(tGreedy)
 
 	// Phase 2: improvement rounds. Each round runs the per-cluster
 	// sweeps and a shard-scoped reassignment pass on every shard in
@@ -141,7 +154,7 @@ func (s *Solver) solveSharded() (*alloc.Allocation, Stats, error) {
 	prev := stats.InitialProfit
 	for iter := 0; iter < s.cfg.MaxLocalSearchIters; iter++ {
 		stats.LocalSearchIters = iter + 1
-		rsp := s.tel.start("solver.shard_round")
+		rsp, rctx := s.tel.startCtx(ctx, "solver.shard_round")
 		var t0 time.Time
 		if s.tel != nil {
 			t0 = time.Now()
@@ -153,34 +166,61 @@ func (s *Solver) solveSharded() (*alloc.Allocation, Stats, error) {
 		acts := make([]int, numShards)
 		deacts := make([]int, numShards)
 		moves := make([]int, numShards)
-		parallel.For(opts, numShards, func(w, sh int) {
+		deltas := make([]sweepDeltas, numShards)
+		reassignDelta := make([]float64, numShards)
+		sweepNanos := make([]int64, numShards)
+		reassignNanos := make([]int64, numShards)
+		ropts := opts
+		ropts.Ctx = rctx
+		parallel.For(ropts, numShards, func(w, sh int) {
+			ssp, sctx := s.tel.startCtxAt(rctx, "solver.shard_sweep", sh)
+			ssp.Attr("shard", sh)
+			tSweep := time.Now()
 			for _, kid := range plan.clusters[sh] {
-				ak, dk := s.sweepCluster(a, kid, members[kid])
+				ak, dk, dd := s.sweepCluster(a, kid, members[kid])
 				acts[sh] += ak
 				deacts[sh] += dk
+				deltas[sh].add(dd)
 			}
+			sweepNanos[sh] = int64(time.Since(tSweep))
 			if !s.cfg.DisableReassign {
-				moves[sh] = s.reassignScoped(a, plan.owner[sh], plan.clusters[sh])
+				tr := time.Now()
+				// Profit reads stay within the shard's own clusters, so they
+				// are safe inside the shard goroutine.
+				before := s.clustersProfit(a, plan.clusters[sh])
+				moves[sh] = s.reassignScoped(sctx, a, plan.owner[sh], plan.clusters[sh])
+				reassignDelta[sh] = s.clustersProfit(a, plan.clusters[sh]) - before
+				reassignNanos[sh] = int64(time.Since(tr))
 			}
+			ssp.End()
 		})
 		for sh := 0; sh < numShards; sh++ {
 			stats.Activations += acts[sh]
 			stats.Deactivations += deacts[sh]
 			stats.Reassignments += moves[sh]
+			stats.Attribution.ShareAdjust += deltas[sh].share
+			stats.Attribution.DispersionAdjust += deltas[sh].disp
+			stats.Attribution.TurnOn += deltas[sh].turnOn
+			stats.Attribution.TurnOff += deltas[sh].turnOff
+			stats.Attribution.Reassign += reassignDelta[sh]
+			stats.Timings.Sweep += time.Duration(sweepNanos[sh])
+			stats.Timings.Reassign += time.Duration(reassignNanos[sh])
 		}
 		if !s.cfg.DisableReassign {
 			// Serial boundary reconciliation: clients are scored against the
-			// whole cloud, so profitable cross-shard moves happen here.
+			// whole cloud, so profitable cross-shard moves happen here. The
+			// flight recorder logs the (sampled) moves as reconcile_move.
+			tr := time.Now()
+			before := a.Profit()
+			moved := s.reassignmentPass(rctx, a, true)
+			stats.Reassignments += moved
+			delta := a.Profit() - before
+			stats.Attribution.Reconcile += delta
+			stats.Timings.Reconcile += time.Since(tr)
 			if s.tel != nil {
-				tr := time.Now()
-				before := a.Profit()
-				moved := s.ReassignmentPass(a)
-				stats.Reassignments += moved
 				s.tel.reassignDur.ObserveSince(tr)
 				s.tel.reassignments.Add(int64(moved))
-				s.tel.reassignDelta.Add(a.Profit() - before)
-			} else {
-				stats.Reassignments += s.ReassignmentPass(a)
+				s.tel.reassignDelta.Add(delta)
 			}
 		}
 		p := a.Profit()
@@ -197,6 +237,8 @@ func (s *Solver) solveSharded() (*alloc.Allocation, Stats, error) {
 	}
 
 	stats.FinalProfit = a.Profit()
+	stats.Attribution.Initial = stats.InitialProfit
+	stats.Attribution.Final = stats.FinalProfit
 	stats.Unplaced = s.scen.NumClients() - a.NumAssigned()
 	stats.Elapsed = time.Since(start)
 	if s.tel != nil {
@@ -208,13 +250,24 @@ func (s *Solver) solveSharded() (*alloc.Allocation, Stats, error) {
 	return a, stats, nil
 }
 
+// clustersProfit folds the given clusters' ledger profits (each read is
+// O(entries touched since the last read) and confined to that cluster).
+func (s *Solver) clustersProfit(a *alloc.Allocation, clusters []model.ClusterID) float64 {
+	var p float64
+	for _, k := range clusters {
+		p += a.ClusterProfit(k)
+	}
+	return p
+}
+
 // reassignScoped is the shard-local reassignment pass: score the shard's
 // clients against the shard's clusters only, then commit improving moves
 // serially in descending-delta order through shard-scoped transactions.
 // It runs inside a shard goroutine, so everything it reads or writes —
 // exclusion views, candidate index, transactions, version counters —
 // stays within the shard's clusters.
-func (s *Solver) reassignScoped(a *alloc.Allocation, clients []model.ClientID, clusters []model.ClusterID) int {
+func (s *Solver) reassignScoped(ctx context.Context, a *alloc.Allocation, clients []model.ClientID, clusters []model.ClusterID) int {
+	ref := telemetry.RefFromContext(ctx)
 	outGain := math.Inf(-1)
 	if s.cfg.AdmissionControl {
 		outGain = 0
@@ -273,10 +326,15 @@ func (s *Solver) reassignScoped(a *alloc.Allocation, clients []model.ClientID, c
 		}
 		if c.toK >= 0 {
 			if err := a.Assign(c.client, model.ClusterID(c.toK), c.portions); err != nil {
+				s.flightRecord(telemetry.Event{Kind: telemetry.EventCommitFail,
+					Client: int64(c.client), Cluster: int64(c.toK),
+					Delta: finiteOr0(c.delta), Trace: ref})
 				s.debugf("shard reassign: commit of scored candidate failed",
 					"client", c.client, "cluster", c.toK, "err", err)
 				if rbErr := txn.Rollback(); rbErr != nil {
 					restoreFails++
+					s.flightRecord(telemetry.Event{Kind: telemetry.EventRestoreFail,
+						Client: int64(c.client), Cluster: int64(c.fromK), Trace: ref})
 					s.debugf("shard reassign: rollback failed", "client", c.client, "err", rbErr)
 				}
 				continue
@@ -287,6 +345,8 @@ func (s *Solver) reassignScoped(a *alloc.Allocation, clients []model.ClientID, c
 			moves++
 		} else if rbErr := txn.Rollback(); rbErr != nil {
 			restoreFails++
+			s.flightRecord(telemetry.Event{Kind: telemetry.EventRestoreFail,
+				Client: int64(c.client), Cluster: int64(c.fromK), Trace: ref})
 			s.debugf("shard reassign: rollback failed", "client", c.client, "err", rbErr)
 		}
 	}

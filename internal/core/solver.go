@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/alloc"
 	"repro/internal/model"
 	"repro/internal/parallel"
+	"repro/internal/telemetry"
 )
 
 // Solver runs the Resource_Alloc heuristic on one scenario. A Solver is
@@ -40,6 +42,14 @@ type Stats struct {
 	Reassignments    int
 	Unplaced         int
 	Elapsed          time.Duration
+	// Attribution splits the profit between the initial solution and the
+	// local-search phases (attribution.go). Always populated — the deltas
+	// come from the allocation's O(touched) per-cluster ledger reads, so
+	// no telemetry set is needed. ImproveLocal fills the phase deltas;
+	// Solve/SolveFrom additionally set Initial and Final.
+	Attribution Attribution
+	// Timings is the per-phase wall-clock breakdown (attribution.go).
+	Timings PhaseTimings
 }
 
 // NewSolver validates the inputs and calibrates the capacity shadow
@@ -76,23 +86,31 @@ func (s *Solver) Scenario() *model.Scenario { return s.scen }
 // worker recycles one allocation arena across its starts (alloc.Reset),
 // keeping only its running best.
 func (s *Solver) Solve() (*alloc.Allocation, Stats, error) {
+	return s.SolveCtx(context.Background())
+}
+
+// SolveCtx is Solve under a caller-provided context: every span the
+// solve records — greedy, rounds, fan-outs, shards — parents into the
+// span carried by ctx (a fresh trace tree when ctx carries none), and
+// flight-recorder events are stamped with that trace context.
+func (s *Solver) SolveCtx(ctx context.Context) (*alloc.Allocation, Stats, error) {
 	if s.cfg.Shards > 1 && s.scen.Cloud.NumClusters() > 1 {
 		// Sharded mode (shard.go): clusters partitioned across independent
 		// shards, per-shard greedy + local search on the fan-out pool, with
 		// serial cross-shard reconciliation between rounds.
-		return s.solveSharded()
+		return s.solveSharded(ctx)
 	}
 	start := time.Now()
-	sp := s.tel.start("solver.solve")
+	sp, ctx := s.tel.startCtx(ctx, "solver.solve")
 	sp.Attr("clients", s.scen.NumClients())
 	sp.Attr("clusters", s.scen.Cloud.NumClusters())
 	if s.tel != nil {
 		s.tel.solves.Inc()
 	}
 
-	gsp := s.tel.start("solver.greedy")
+	gsp, gctx := s.tel.startCtx(ctx, "solver.greedy")
 	tGreedy := time.Now()
-	best, bestProfit, err := s.multiStart()
+	best, bestProfit, err := s.multiStart(gctx)
 	if err != nil {
 		return nil, Stats{}, err
 	}
@@ -107,8 +125,11 @@ func (s *Solver) Solve() (*alloc.Allocation, Stats, error) {
 	}
 
 	stats := Stats{InitialProfit: bestProfit}
-	s.ImproveLocal(best, &stats)
+	stats.Timings.Greedy = time.Since(tGreedy)
+	s.ImproveLocalCtx(ctx, best, &stats)
 	stats.FinalProfit = best.Profit()
+	stats.Attribution.Initial = stats.InitialProfit
+	stats.Attribution.Final = stats.FinalProfit
 	stats.Unplaced = s.scen.NumClients() - best.NumAssigned()
 	stats.Elapsed = time.Since(start)
 	if s.tel != nil {
@@ -122,7 +143,7 @@ func (s *Solver) Solve() (*alloc.Allocation, Stats, error) {
 
 // multiStart runs the NumInitSolutions greedy starts on the fan-out
 // engine and returns the winner under (profit desc, start index asc).
-func (s *Solver) multiStart() (*alloc.Allocation, float64, error) {
+func (s *Solver) multiStart(ctx context.Context) (*alloc.Allocation, float64, error) {
 	n := s.cfg.NumInitSolutions
 	workers := parallel.Bound(s.cfg.Workers, n)
 	// Per-worker state: cur is the recycled arena for the next start,
@@ -135,10 +156,11 @@ func (s *Solver) multiStart() (*alloc.Allocation, float64, error) {
 	curs := make([]*alloc.Allocation, workers)
 	bests := make([]workerBest, workers)
 	errs := make([]error, n)
-	opts := parallel.Options{Workers: workers, Phase: "multistart"}
+	opts := parallel.Options{Workers: workers, Phase: "multistart", Ctx: ctx}
 	if s.tel != nil {
 		opts.Tel = s.tel.set
 	}
+	ref := telemetry.RefFromContext(ctx)
 	parallel.For(opts, n, func(w, iter int) {
 		a := curs[w]
 		if a == nil {
@@ -149,7 +171,7 @@ func (s *Solver) multiStart() (*alloc.Allocation, float64, error) {
 		} else {
 			a.Reset()
 		}
-		if err := s.buildInitial(a, parallel.Rand(s.cfg.Seed, uint64(iter))); err != nil {
+		if err := s.buildInitial(a, parallel.Rand(s.cfg.Seed, uint64(iter)), ref); err != nil {
 			errs[iter] = err
 			curs[w] = a
 			return
@@ -191,7 +213,7 @@ func (s *Solver) InitialSolution(rng *rand.Rand) (*alloc.Allocation, error) {
 	if s.tel != nil {
 		a.Instrument(s.tel.set)
 	}
-	if err := s.buildInitial(a, rng); err != nil {
+	if err := s.buildInitial(a, rng, telemetry.TraceRef{}); err != nil {
 		return nil, err
 	}
 	return a, nil
@@ -200,9 +222,11 @@ func (s *Solver) InitialSolution(rng *rand.Rand) (*alloc.Allocation, error) {
 // buildInitial runs one greedy pass into an empty (fresh or Reset)
 // allocation. Candidate generation goes through a per-pass greedyState
 // (candidates.go): nil for the exact full scan, index-backed when
-// Config.CandidateClusters enables top-k pruning.
-func (s *Solver) buildInitial(a *alloc.Allocation, rng *rand.Rand) error {
+// Config.CandidateClusters enables top-k pruning. ref stamps the pass's
+// flight-recorder events with the enclosing span's trace context.
+func (s *Solver) buildInitial(a *alloc.Allocation, rng *rand.Rand, ref telemetry.TraceRef) error {
 	gs := s.newGreedyState(a, nil)
+	gs.setRef(ref)
 	order := rng.Perm(s.scen.NumClients())
 	for _, ci := range order {
 		i := model.ClientID(ci)
@@ -218,33 +242,45 @@ func (s *Solver) buildInitial(a *alloc.Allocation, rng *rand.Rand) error {
 // the iteration budget is exhausted. It mutates a in place and records
 // activity in stats (which may be nil).
 func (s *Solver) ImproveLocal(a *alloc.Allocation, stats *Stats) {
+	s.ImproveLocalCtx(context.Background(), a, stats)
+}
+
+// ImproveLocalCtx is ImproveLocal under a caller-provided context: round
+// and reassignment spans parent into the span carried by ctx. It always
+// accumulates the per-phase profit deltas and timings into
+// stats.Attribution and stats.Timings (Initial/Final stay zero unless the
+// caller sets them, as Solve and SolveFrom do).
+func (s *Solver) ImproveLocalCtx(ctx context.Context, a *alloc.Allocation, stats *Stats) {
 	if stats == nil {
 		stats = &Stats{}
 	}
 	prev := a.Profit()
 	for iter := 0; iter < s.cfg.MaxLocalSearchIters; iter++ {
 		stats.LocalSearchIters = iter + 1
-		rsp := s.tel.start("solver.round")
+		rsp, rctx := s.tel.startCtx(ctx, "solver.round")
 		var t0 time.Time
 		if s.tel != nil {
 			t0 = time.Now()
 			s.tel.rounds.Inc()
 			rsp.Attr("round", iter+1)
 		}
+		tSweep := time.Now()
 		s.improvePass(a, stats)
+		stats.Timings.Sweep += time.Since(tSweep)
 		if !s.cfg.DisableReassign {
 			// Cloud-level client reassignment is a central-manager move and
 			// runs between the parallel per-cluster sweeps.
+			tr := time.Now()
+			before := a.Profit()
+			moved := s.ReassignmentPassCtx(rctx, a)
+			stats.Reassignments += moved
+			delta := a.Profit() - before
+			stats.Attribution.Reassign += delta
+			stats.Timings.Reassign += time.Since(tr)
 			if s.tel != nil {
-				tr := time.Now()
-				before := a.Profit()
-				moved := s.ReassignmentPass(a)
-				stats.Reassignments += moved
 				s.tel.reassignDur.ObserveSince(tr)
 				s.tel.reassignments.Add(int64(moved))
-				s.tel.reassignDelta.Add(a.Profit() - before)
-			} else {
-				stats.Reassignments += s.ReassignmentPass(a)
+				s.tel.reassignDelta.Add(delta)
 			}
 		}
 		p := a.Profit()
@@ -272,8 +308,9 @@ func (s *Solver) improvePass(a *alloc.Allocation, stats *Stats) {
 	members := s.clusterMembers(a)
 	acts := make([]int, numK)
 	deacts := make([]int, numK)
+	deltas := make([]sweepDeltas, numK)
 	run := func(k int) {
-		acts[k], deacts[k] = s.sweepCluster(a, model.ClusterID(k), members[k])
+		acts[k], deacts[k], deltas[k] = s.sweepCluster(a, model.ClusterID(k), members[k])
 	}
 	if s.cfg.Parallel && numK > 1 {
 		var wg sync.WaitGroup
@@ -290,37 +327,99 @@ func (s *Solver) improvePass(a *alloc.Allocation, stats *Stats) {
 			run(k)
 		}
 	}
+	var total sweepDeltas
 	for k := 0; k < numK; k++ {
 		stats.Activations += acts[k]
 		stats.Deactivations += deacts[k]
+		total.add(deltas[k])
 	}
+	stats.Attribution.ShareAdjust += total.share
+	stats.Attribution.DispersionAdjust += total.disp
+	stats.Attribution.TurnOn += total.turnOn
+	stats.Attribution.TurnOff += total.turnOff
 }
 
 // sweepCluster runs the enabled per-cluster local-search phases on one
-// cluster. Every mutation is confined to the cluster, so callers may run
-// sweeps on distinct clusters concurrently (improvePass's per-cluster
-// goroutines, the sharded solve's per-shard rounds).
-func (s *Solver) sweepCluster(a *alloc.Allocation, kid model.ClusterID, members []model.ClientID) (acts, deacts int) {
-	if s.tel != nil {
-		return s.clusterPassInstrumented(a, kid, members)
-	}
+// cluster and returns the activation/deactivation counts plus each
+// phase's profit delta, read through the allocation's O(touched)
+// per-cluster ledger. Every mutation (and every profit read) is confined
+// to the cluster, so callers may run sweeps on distinct clusters
+// concurrently (improvePass's per-cluster goroutines, the sharded
+// solve's per-shard rounds). When telemetry is attached the sweep also
+// records per-phase timing, move-acceptance counters and cumulative
+// delta gauges — same moves either way.
+func (s *Solver) sweepCluster(a *alloc.Allocation, kid model.ClusterID, members []model.ClientID) (acts, deacts int, d sweepDeltas) {
+	tel := s.tel
 	if !s.cfg.DisableShareAdjust {
-		for _, j := range s.scen.Cloud.ClusterServers(kid) {
-			s.AdjustResourceShares(a, j)
+		var t0 time.Time
+		if tel != nil {
+			t0 = time.Now()
+		}
+		before := a.ClusterProfit(kid)
+		var accepted int64
+		servers := s.scen.Cloud.ClusterServers(kid)
+		for _, j := range servers {
+			if s.AdjustResourceShares(a, j) {
+				accepted++
+			}
+		}
+		d.share = a.ClusterProfit(kid) - before
+		if tel != nil {
+			tel.shareDur.ObserveSince(t0)
+			tel.shareMoves.Add(int64(len(servers)))
+			tel.shareAccepts.Add(accepted)
+			tel.shareDelta.Add(d.share)
 		}
 	}
 	if !s.cfg.DisableDispersionAdjust {
+		var t0 time.Time
+		if tel != nil {
+			t0 = time.Now()
+		}
+		before := a.ClusterProfit(kid)
+		var accepted int64
 		for _, id := range members {
-			s.AdjustDispersionRates(a, id)
+			if s.AdjustDispersionRates(a, id) {
+				accepted++
+			}
+		}
+		d.disp = a.ClusterProfit(kid) - before
+		if tel != nil {
+			tel.dispersionDur.ObserveSince(t0)
+			tel.dispMoves.Add(int64(len(members)))
+			tel.dispAccepts.Add(accepted)
+			tel.dispDelta.Add(d.disp)
 		}
 	}
 	if !s.cfg.DisableTurnOn {
-		acts += s.turnOnServers(a, kid, members)
+		var t0 time.Time
+		if tel != nil {
+			t0 = time.Now()
+		}
+		before := a.ClusterProfit(kid)
+		acts = s.turnOnServers(a, kid, members)
+		d.turnOn = a.ClusterProfit(kid) - before
+		if tel != nil {
+			tel.turnOnDur.ObserveSince(t0)
+			tel.activations.Add(int64(acts))
+			tel.turnOnDelta.Add(d.turnOn)
+		}
 	}
 	if !s.cfg.DisableTurnOff {
-		deacts += s.turnOffServers(a, kid)
+		var t0 time.Time
+		if tel != nil {
+			t0 = time.Now()
+		}
+		before := a.ClusterProfit(kid)
+		deacts = s.turnOffServers(a, kid)
+		d.turnOff = a.ClusterProfit(kid) - before
+		if tel != nil {
+			tel.turnOffDur.ObserveSince(t0)
+			tel.deactivations.Add(int64(deacts))
+			tel.turnOffDelta.Add(d.turnOff)
+		}
 	}
-	return acts, deacts
+	return acts, deacts, d
 }
 
 // clusterMembers snapshots the assigned clients of every cluster.

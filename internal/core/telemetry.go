@@ -1,10 +1,8 @@
 package core
 
 import (
-	"time"
+	"context"
 
-	"repro/internal/alloc"
-	"repro/internal/model"
 	"repro/internal/telemetry"
 )
 
@@ -31,6 +29,10 @@ const (
 // rely on the handles' own nil-safety (counters).
 type solverTel struct {
 	set *telemetry.Set
+	// flight is the set's flight recorder (flight.go): typed placement /
+	// pruning / commit-failure events, deterministically sampled by
+	// client ID. A nil *Flight is a valid no-op recorder.
+	flight *telemetry.Flight
 
 	solves *telemetry.Counter
 	rounds *telemetry.Counter
@@ -99,6 +101,7 @@ func newSolverTel(set *telemetry.Set) *solverTel {
 	}
 	return &solverTel{
 		set:    set,
+		flight: set.FlightRecorder(),
 		solves: set.Counter("solver_solves_total"),
 		rounds: set.Counter("solver_local_search_rounds_total"),
 
@@ -140,65 +143,29 @@ func newSolverTel(set *telemetry.Set) *solverTel {
 	}
 }
 
-// start opens a span on the underlying tracer; inert when disabled.
-func (t *solverTel) start(name string) telemetry.Span {
+// startCtx opens a span as a child of the span in ctx; inert (and ctx
+// unchanged) when disabled.
+func (t *solverTel) startCtx(ctx context.Context, name string) (telemetry.Span, context.Context) {
 	if t == nil {
-		return telemetry.Span{}
+		return telemetry.Span{}, ctx
 	}
-	return t.set.Start(name)
+	return t.set.StartCtx(ctx, name)
 }
 
-// clusterPassInstrumented is the telemetry-enabled twin of the inline
-// cluster sweep in improvePass: identical moves, plus per-phase timing,
-// move-acceptance counters and profit-delta gauges. It reads profit only
-// through ClusterProfit(k), so it stays safe under the solver's
-// per-cluster parallelism.
-func (s *Solver) clusterPassInstrumented(a *alloc.Allocation, kid model.ClusterID, members []model.ClientID) (acts, deacts int) {
-	tel := s.tel
-	if !s.cfg.DisableShareAdjust {
-		t0 := time.Now()
-		before := a.ClusterProfit(kid)
-		var accepted int64
-		servers := s.scen.Cloud.ClusterServers(kid)
-		for _, j := range servers {
-			if s.AdjustResourceShares(a, j) {
-				accepted++
-			}
-		}
-		tel.shareDur.ObserveSince(t0)
-		tel.shareMoves.Add(int64(len(servers)))
-		tel.shareAccepts.Add(accepted)
-		tel.shareDelta.Add(a.ClusterProfit(kid) - before)
+// startCtxAt is startCtx with an explicit child index: fan-out sites
+// (per-shard spans) pass their task index so the span ID is independent
+// of goroutine scheduling.
+func (t *solverTel) startCtxAt(ctx context.Context, name string, index int) (telemetry.Span, context.Context) {
+	if t == nil {
+		return telemetry.Span{}, ctx
 	}
-	if !s.cfg.DisableDispersionAdjust {
-		t0 := time.Now()
-		before := a.ClusterProfit(kid)
-		var accepted int64
-		for _, id := range members {
-			if s.AdjustDispersionRates(a, id) {
-				accepted++
-			}
-		}
-		tel.dispersionDur.ObserveSince(t0)
-		tel.dispMoves.Add(int64(len(members)))
-		tel.dispAccepts.Add(accepted)
-		tel.dispDelta.Add(a.ClusterProfit(kid) - before)
+	return t.set.Tracer.StartCtxAt(ctx, name, index)
+}
+
+// flightRec returns the flight recorder; nil when telemetry is off.
+func (t *solverTel) flightRec() *telemetry.Flight {
+	if t == nil {
+		return nil
 	}
-	if !s.cfg.DisableTurnOn {
-		t0 := time.Now()
-		before := a.ClusterProfit(kid)
-		acts = s.turnOnServers(a, kid, members)
-		tel.turnOnDur.ObserveSince(t0)
-		tel.activations.Add(int64(acts))
-		tel.turnOnDelta.Add(a.ClusterProfit(kid) - before)
-	}
-	if !s.cfg.DisableTurnOff {
-		t0 := time.Now()
-		before := a.ClusterProfit(kid)
-		deacts = s.turnOffServers(a, kid)
-		tel.turnOffDur.ObserveSince(t0)
-		tel.deactivations.Add(int64(deacts))
-		tel.turnOffDelta.Add(a.ClusterProfit(kid) - before)
-	}
-	return acts, deacts
+	return t.flight
 }

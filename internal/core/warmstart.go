@@ -1,11 +1,14 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/alloc"
 	"repro/internal/model"
+	"repro/internal/telemetry"
 )
 
 // SolveFrom re-solves for this solver's scenario starting from a previous
@@ -19,6 +22,14 @@ import (
 // search runs. Returns the allocation, stats and the number of clients
 // that had to be re-placed.
 func (s *Solver) SolveFrom(prev *alloc.Allocation) (*alloc.Allocation, Stats, error) {
+	return s.SolveFromCtx(context.Background(), prev)
+}
+
+// SolveFromCtx is SolveFrom under a caller-provided context: the warm
+// start records a solver.solve_from span (replay + re-placements +
+// local search) parenting into the span carried by ctx — under the epoch
+// controller this chains every epoch's solve into one trace per step.
+func (s *Solver) SolveFromCtx(ctx context.Context, prev *alloc.Allocation) (*alloc.Allocation, Stats, error) {
 	if prev == nil {
 		return nil, Stats{}, errors.New("core: nil previous allocation")
 	}
@@ -29,7 +40,11 @@ func (s *Solver) SolveFrom(prev *alloc.Allocation) (*alloc.Allocation, Stats, er
 			prevScen.Cloud.NumServers(), s.scen.Cloud.NumServers(),
 			prevScen.NumClients(), s.scen.NumClients())
 	}
+	sp, ctx := s.tel.startCtx(ctx, "solver.solve_from")
+	sp.Attr("clients", s.scen.NumClients())
+	defer sp.End()
 
+	tGreedy := time.Now()
 	a := alloc.New(s.scen)
 	if s.tel != nil {
 		a.Instrument(s.tel.set)
@@ -50,6 +65,7 @@ func (s *Solver) SolveFrom(prev *alloc.Allocation) (*alloc.Allocation, Stats, er
 	}
 	var replaced int
 	gs := s.newGreedyState(a, nil)
+	gs.setRef(telemetry.RefFromContext(ctx))
 	for _, id := range displaced {
 		if err := s.placeBest(a, id, gs); err != nil {
 			if errors.Is(err, ErrCannotPlace) {
@@ -60,10 +76,14 @@ func (s *Solver) SolveFrom(prev *alloc.Allocation) (*alloc.Allocation, Stats, er
 		replaced++
 	}
 	gs.flushTelemetry(s.tel)
+	sp.Attr("replaced", replaced)
 
 	stats := Stats{InitialProfit: a.Profit()}
-	s.ImproveLocal(a, &stats)
+	stats.Timings.Greedy = time.Since(tGreedy)
+	s.ImproveLocalCtx(ctx, a, &stats)
 	stats.FinalProfit = a.Profit()
+	stats.Attribution.Initial = stats.InitialProfit
+	stats.Attribution.Final = stats.FinalProfit
 	stats.Unplaced = s.scen.NumClients() - a.NumAssigned()
 	return a, stats, nil
 }

@@ -1,6 +1,7 @@
 package epoch
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -217,8 +218,12 @@ func RunController(scen *model.Scenario, tr Trace, cfg ControllerConfig) (Contro
 			step.Drift = maxRelDrift(lastDecision, forecast)
 		}
 		var sp telemetry.Span
+		ctx := context.Background()
 		if tel != nil {
-			sp = tel.set.Start("epoch.step")
+			// Root span per epoch: the solver's solve/solve_from spans
+			// below become its children, so one trace covers the whole
+			// step (drift check, solve, realization).
+			sp, ctx = tel.set.StartCtx(ctx, "epoch.step")
 			sp.Attr("epoch", e)
 			tel.drift.Set(step.Drift)
 		}
@@ -230,9 +235,9 @@ func RunController(scen *model.Scenario, tr Trace, cfg ControllerConfig) (Contro
 			start := time.Now()
 			var a *alloc.Allocation
 			if cfg.WarmStart && current != nil {
-				a, _, err = solver.SolveFrom(current)
+				a, _, err = solver.SolveFromCtx(ctx, current)
 			} else {
-				a, _, err = solver.Solve()
+				a, _, err = solver.SolveCtx(ctx)
 			}
 			if err != nil {
 				return ControllerSummary{}, err

@@ -65,6 +65,15 @@ type ScaleRow struct {
 
 	Generate time.Duration `json:"generate_ns"`
 	Solve    time.Duration `json:"solve_ns"`
+	// Timings splits Solve into the solver's phases (greedy build,
+	// cluster sweeps, reassignment, cross-shard reconciliation). In
+	// sharded mode Sweep and Reassign sum per-shard busy time, so they
+	// can exceed the row's wall-clock Solve.
+	Timings core.PhaseTimings `json:"timings"`
+	// Attribution splits the row's profit across the same phases
+	// (core.Stats.Attribution): which phase the profit came from, at
+	// this scale.
+	Attribution core.Attribution `json:"attribution"`
 	// AllocBytes is the TotalAlloc delta across generate+solve;
 	// BytesPerClient the same divided by the client count — the
 	// linear-memory acceptance number.
@@ -159,6 +168,8 @@ func RunScale(cfg ScaleExpConfig, progress io.Writer) (*ScaleReport, error) {
 			TopK:           sc.CandidateClusters,
 			Generate:       genDur,
 			Solve:          st.Elapsed,
+			Timings:        st.Timings,
+			Attribution:    st.Attribution,
 			AllocBytes:     after.TotalAlloc - before.TotalAlloc,
 			Profit:         st.FinalProfit,
 			Unplaced:       st.Unplaced,
@@ -197,15 +208,17 @@ func ScaleTable(rep *ScaleReport) string {
 	fmt.Fprintf(&b, "Scale ladder: pruned+sharded solve (GOMAXPROCS=%d, %d CPUs)\n",
 		rep.GoMaxProcs, rep.NumCPU)
 	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "clients\tclusters\tshards\ttopk\tgenerate\tsolve\tB/client\tprofit\tunplaced\tloss-vs-exact")
+	fmt.Fprintln(w, "clients\tclusters\tshards\ttopk\tgenerate\tsolve\tgreedy\tsweep\treassign\treconcile\tB/client\tprofit\tunplaced\tloss-vs-exact")
 	for _, r := range rep.Rows {
 		loss := "-"
 		if r.ExactProfit != 0 {
 			loss = fmt.Sprintf("%.4f%%", r.LossVsExact*100)
 		}
-		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%s\t%s\t%.0f\t%.2f\t%d\t%s\n",
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%s\t%s\t%s\t%s\t%s\t%s\t%.0f\t%.2f\t%d\t%s\n",
 			r.Clients, r.Clusters, r.Shards, r.TopK,
 			r.Generate.Round(time.Millisecond), r.Solve.Round(time.Millisecond),
+			r.Timings.Greedy.Round(time.Millisecond), r.Timings.Sweep.Round(time.Millisecond),
+			r.Timings.Reassign.Round(time.Millisecond), r.Timings.Reconcile.Round(time.Millisecond),
 			r.BytesPerClient, r.Profit, r.Unplaced, loss)
 	}
 	w.Flush()

@@ -22,6 +22,7 @@
 package parallel
 
 import (
+	"context"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -84,6 +85,12 @@ type Options struct {
 	Tel *telemetry.Set
 	// Phase labels the telemetry ("multistart", "mc_draws", ...).
 	Phase string
+	// Ctx, when non-nil and carrying trace context, parents the fan-out
+	// span under the caller's span so the fan-out shows up inside the
+	// solve's trace tree. Task callbacks that start their own spans
+	// should derive them from the same ctx with deterministic indices
+	// (telemetry.Tracer.StartCtxAt) to stay scheduling-independent.
+	Ctx context.Context
 }
 
 // For runs fn(worker, task) for every task in [0, n) on a bounded pool.
@@ -104,7 +111,7 @@ func ForErr(o Options, n int, fn func(worker, task int) error) error {
 	}
 	workers := Bound(o.Workers, n)
 	ft := newFanTel(o.Tel, o.Phase)
-	sp := ft.span(n, workers)
+	sp := ft.span(o.Ctx, n, workers)
 
 	var firstErr struct {
 		sync.Mutex
@@ -205,11 +212,16 @@ func newFanTel(set *telemetry.Set, phase string) *fanTel {
 	}
 }
 
-func (t *fanTel) span(tasks, workers int) telemetry.Span {
+func (t *fanTel) span(ctx context.Context, tasks, workers int) telemetry.Span {
 	if t == nil {
 		return telemetry.Span{}
 	}
-	sp := t.set.Start("fanout." + t.phase)
+	var sp telemetry.Span
+	if ctx != nil {
+		sp, _ = t.set.StartCtx(ctx, "fanout."+t.phase)
+	} else {
+		sp = t.set.Start("fanout." + t.phase)
+	}
 	sp.Attr("tasks", tasks)
 	sp.Attr("workers", workers)
 	return sp

@@ -12,8 +12,12 @@ import (
 //
 //	/metrics      — Prometheus text exposition of the registry
 //	/debug/vars   — expvar JSON (includes the registry when published)
-//	/debug/trace  — the tracer's recent spans as JSON, newest last;
-//	                ?n=K limits the reply to the last K spans
+//	/debug/trace  — the tracer's recent spans; ?n=K limits the reply to
+//	                the last K spans, ?format=tree renders ASCII trace
+//	                trees, ?format=chrome emits Chrome trace-event JSON
+//	                (Perfetto-loadable), default is plain JSON
+//	/debug/flight — the flight recorder's recent events as JSON
+//	                (?n=K limits to the last K events)
 //	/debug/pprof/ — the standard net/http/pprof profiles
 //
 // The same mux is what allocd serves on -debug-addr.
@@ -36,18 +40,45 @@ func Handler(s *Set) *http.ServeMux {
 		if s != nil {
 			spans = s.Tracer.Snapshot()
 		}
-		if nStr := r.URL.Query().Get("n"); nStr != "" {
-			if n, err := strconv.Atoi(nStr); err == nil && n >= 0 && n < len(spans) {
-				spans = spans[len(spans)-n:]
-			}
+		spans = lastN(spans, r.URL.Query().Get("n"))
+		switch r.URL.Query().Get("format") {
+		case "tree":
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			WriteTraceTree(w, spans)
+		case "chrome":
+			w.Header().Set("Content-Type", "application/json")
+			_ = WriteChromeTrace(w, spans)
+		default:
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(struct {
+				Total uint64       `json:"total_spans"`
+				Spans []SpanRecord `json:"spans"`
+			}{Total: s.traceTotal(), Spans: spans})
 		}
+	})
+	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, r *http.Request) {
+		var (
+			events []Event
+			total  uint64
+			every  uint64
+		)
+		if s != nil {
+			f := s.Flight
+			events = f.Snapshot()
+			total = f.Total()
+			every = f.SampleEvery()
+		}
+		events = lastN(events, r.URL.Query().Get("n"))
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(struct {
-			Total uint64       `json:"total_spans"`
-			Spans []SpanRecord `json:"spans"`
-		}{Total: s.traceTotal(), Spans: spans})
+			Total       uint64  `json:"total_events"`
+			SampleEvery uint64  `json:"sample_every"`
+			Events      []Event `json:"events"`
+		}{Total: total, SampleEvery: every, Events: events})
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -55,6 +86,17 @@ func Handler(s *Set) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// lastN keeps the trailing n entries when the query parameter parses.
+func lastN[T any](items []T, nStr string) []T {
+	if nStr == "" {
+		return items
+	}
+	if n, err := strconv.Atoi(nStr); err == nil && n >= 0 && n < len(items) {
+		return items[len(items)-n:]
+	}
+	return items
 }
 
 func (s *Set) traceTotal() uint64 {

@@ -95,10 +95,15 @@ type Histogram struct {
 	count   atomic.Int64
 }
 
-// DurationBuckets spans 100µs to 10s — solver phases, RPC round trips
-// and improvement rounds all land inside it.
+// DurationBuckets spans 100µs to 10min. The upper decades matter:
+// phase timings at the 1M-client scale run minutes (BENCH_scale.json
+// records 12m for the full solve on a 1-core host), and before the
+// 30–600s buckets were added every such observation collapsed into the
+// +Inf overflow bucket, making the histograms useless exactly where
+// they are most needed.
 var DurationBuckets = []float64{
-	.0001, .00025, .0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10,
+	.0001, .00025, .0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5,
+	1, 2.5, 5, 10, 30, 60, 120, 300, 600,
 }
 
 // SizeBuckets spans 64B to 4MB for message-size metrics.

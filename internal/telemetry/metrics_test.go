@@ -196,3 +196,30 @@ func TestHistogramMean(t *testing.T) {
 		t.Errorf("mean = %v", h.Mean())
 	}
 }
+
+// TestDurationBucketsCoverMinutes pins the widened histogram range: solve
+// phases at the million-client scale run minutes, and before the 30–600s
+// buckets existed a 94-second observation fell straight into +Inf.
+func TestDurationBucketsCoverMinutes(t *testing.T) {
+	if top := DurationBuckets[len(DurationBuckets)-1]; top != 600 {
+		t.Fatalf("DurationBuckets top out at %vs, want 600s", top)
+	}
+	r := NewRegistry()
+	h := r.Histogram("solve_seconds", DurationBuckets)
+	h.Observe(94.0)
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	text := sb.String()
+	// Cumulative buckets: everything below 120s is empty, 120s and up
+	// (including +Inf) hold the observation.
+	for _, want := range []string{
+		`solve_seconds_bucket{le="60"} 0`,
+		`solve_seconds_bucket{le="120"} 1`,
+		`solve_seconds_bucket{le="600"} 1`,
+		`solve_seconds_bucket{le="+Inf"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -15,15 +15,18 @@ type Set struct {
 	Metrics *Registry
 	Tracer  *Tracer
 	Log     *slog.Logger
+	Flight  *Flight
 }
 
 // New builds a fully enabled Set: fresh registry, default-capacity
-// tracer, and the given logger (the no-op logger when nil).
+// tracer, default-capacity unsampled flight recorder, and the given
+// logger (the no-op logger when nil).
 func New(log *slog.Logger) *Set {
 	return &Set{
 		Metrics: NewRegistry(),
 		Tracer:  NewTracer(0),
 		Log:     log,
+		Flight:  NewFlight(0, 1),
 	}
 }
 
@@ -51,12 +54,30 @@ func (s *Set) Histogram(name string, buckets []float64) *Histogram {
 	return s.Metrics.Histogram(name, buckets)
 }
 
-// Start opens a span on the set's tracer (inert on a disabled set).
+// Start opens a root span on the set's tracer (inert on a disabled set).
 func (s *Set) Start(name string) Span {
 	if s == nil {
 		return Span{}
 	}
 	return s.Tracer.Start(name)
+}
+
+// StartCtx opens a span as a child of the span in ctx and returns the
+// derived context (inert, ctx unchanged, on a disabled set).
+func (s *Set) StartCtx(ctx context.Context, name string) (Span, context.Context) {
+	if s == nil {
+		return Span{}, ctx
+	}
+	return s.Tracer.StartCtx(ctx, name)
+}
+
+// FlightRecorder returns the set's flight recorder (nil when disabled);
+// a nil *Flight is itself a valid no-op recorder.
+func (s *Set) FlightRecorder() *Flight {
+	if s == nil {
+		return nil
+	}
+	return s.Flight
 }
 
 // Enabled reports whether the set records anything at all.
