@@ -372,6 +372,25 @@ func DialAgentWith(addr string, set *Telemetry) (Agent, error) {
 	return agentrpc.Dial(addr, agentrpc.WithTelemetry(set))
 }
 
+// AgentCallPolicy shapes the client side's fault handling on a dialed
+// agent: per-attempt conn deadlines, retry with deterministic backoff +
+// jitter, connection-pool bounds and read-only call hedging.
+type AgentCallPolicy = agentrpc.Policy
+
+// DefaultAgentCallPolicy returns the production defaults (generous
+// deadline, a few retries, hedging off).
+func DefaultAgentCallPolicy() AgentCallPolicy { return agentrpc.DefaultPolicy() }
+
+// DialAgentPolicy is DialAgentWith with an explicit call policy; set is
+// optional (nil disables client-side RPC telemetry).
+func DialAgentPolicy(addr string, pol AgentCallPolicy, set *Telemetry) (Agent, error) {
+	opts := []agentrpc.Option{agentrpc.WithPolicy(pol)}
+	if set != nil {
+		opts = append(opts, agentrpc.WithTelemetry(set))
+	}
+	return agentrpc.Dial(addr, opts...)
+}
+
 // DeadlineMissProbability returns the analytic probability that a request
 // of client id exceeds the deadline under allocation a, aggregated over
 // the client's portions (tail of the tandem M/M/1 sojourn times).

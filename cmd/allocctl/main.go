@@ -34,6 +34,10 @@ func run(args []string) error {
 		addrs   = fs.String("agents", "", "comma-separated agent addresses, one per cluster, in cluster order")
 		seed    = fs.Int64("seed", 1, "manager seed")
 		metrics = fs.Bool("metrics", false, "after the solve, dump manager and client-side RPC metrics (Prometheus text) to stderr")
+
+		rpcTimeout  = fs.Duration("rpc-timeout", cloudalloc.DefaultAgentCallPolicy().Timeout, "per-attempt RPC deadline (0 disables)")
+		rpcAttempts = fs.Int("rpc-attempts", cloudalloc.DefaultAgentCallPolicy().MaxAttempts, "max attempts per RPC (transport failures retry on a fresh connection)")
+		hedge       = fs.Duration("hedge", 0, "hedge read-only RPCs on a second connection after this delay (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -49,9 +53,14 @@ func run(args []string) error {
 	if *metrics {
 		tel = cloudalloc.NewTelemetry(nil)
 	}
+	pol := cloudalloc.DefaultAgentCallPolicy()
+	pol.Timeout = *rpcTimeout
+	pol.MaxAttempts = *rpcAttempts
+	pol.HedgeDelay = *hedge
+	pol.Seed = *seed
 	var agents []cloudalloc.Agent
 	for _, addr := range strings.Split(*addrs, ",") {
-		ag, err := cloudalloc.DialAgentWith(strings.TrimSpace(addr), tel)
+		ag, err := cloudalloc.DialAgentPolicy(strings.TrimSpace(addr), pol, tel)
 		if err != nil {
 			return err
 		}

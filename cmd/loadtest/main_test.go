@@ -1,0 +1,50 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/experiment"
+)
+
+// TestLoadtestSmoke runs the full schedule set on a small instance: the
+// CI convergence gate in miniature. Any schedule failing to converge to
+// the baseline profit fails the run.
+func TestLoadtestSmoke(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_faults.json")
+	cfg := config{
+		clients:         12,
+		clusters:        3,
+		seed:            1,
+		rate:            0.12,
+		delay:           time.Millisecond,
+		crashAfterReads: 40,
+		crashDown:       30 * time.Millisecond,
+		hedge:           5 * time.Millisecond,
+		attempts:        16,
+		timeout:         10 * time.Second,
+		out:             out,
+	}
+	rep, failed, err := execute(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed {
+		t.Fatalf("schedules did not converge:\n%s", experiment.FaultsTable(rep))
+	}
+	if len(rep.Rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(rep.Rows))
+	}
+	mixed := rep.Rows[1]
+	if mixed.Retries == 0 {
+		t.Fatal("mixed schedule injected faults but the client never retried")
+	}
+	if mixed.Crashes != 1 {
+		t.Fatalf("crash-restart fired %d times, want 1", mixed.Crashes)
+	}
+	hedged := rep.Rows[2]
+	if hedged.HedgeWins == 0 {
+		t.Fatal("slow+hedge schedule never won a hedge")
+	}
+}

@@ -1,0 +1,105 @@
+package agentrpc
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/cluster"
+	"repro/internal/model"
+	"repro/internal/telemetry"
+)
+
+// seedFrames returns real captured wire frames: every op's request as
+// the client encodes it, plus a response with every field populated.
+// The fuzz corpora start from genuine gob streams, so mutations explore
+// the decoder's state machine instead of bouncing off the magic bytes.
+func seedRequestFrames(t testing.TB) [][]byte {
+	t.Helper()
+	var frames [][]byte
+	reqs := []request{
+		{Op: opClusterID, Src: 7, Seq: 1},
+		{Op: opReset, Src: 7, Seq: 2},
+		{Op: opEvaluate, Client: 3, Src: 7, Seq: 3},
+		{Op: opCommit, Client: 3, Portions: []alloc.Portion{{Server: 2, Alpha: 1, ProcShare: 0.5, CommShare: 0.25}}, Src: 7, Seq: 4},
+		{Op: opRemove, Client: 3, Src: 7, Seq: 5},
+		{Op: opImprove, Src: 7, Seq: 6},
+		{Op: opProfit, Src: 7, Seq: 7},
+		{Op: opSnapshot, Trace: telemetry.TraceRef{TraceID: 9, SpanID: 4}, Src: 7, Seq: 8},
+	}
+	for _, rq := range reqs {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(rq); err != nil {
+			t.Fatalf("encode seed request: %v", err)
+		}
+		frames = append(frames, buf.Bytes())
+	}
+	return frames
+}
+
+func seedResponseFrames(t testing.TB) [][]byte {
+	t.Helper()
+	resps := []response{
+		{Cluster: 2},
+		{Err: "agent exploded"},
+		{Eval: cluster.EvalResult{Feasible: true, Est: 12.5, Portions: []alloc.Portion{{Server: 1, Alpha: 1, ProcShare: 1, CommShare: 1}}}},
+		{Improve: cluster.ImproveStats{Activations: 2, Deactivations: 1, Profit: 99.25}},
+		{Profit: 42.125},
+		{Snapshot: map[model.ClientID][]alloc.Portion{4: {{Server: 0, Alpha: 1, ProcShare: 0.25, CommShare: 0.25}}}},
+	}
+	var frames [][]byte
+	for _, rs := range resps {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(rs); err != nil {
+			t.Fatalf("encode seed response: %v", err)
+		}
+		frames = append(frames, buf.Bytes())
+	}
+	return frames
+}
+
+// FuzzDecodeRequest feeds arbitrary bytes to the server's frame
+// decoder. A malformed or truncated frame must surface as a decode
+// error — never a panic and never a hang. Two decodes per input
+// exercise the decoder's cross-frame state (gob type descriptors are
+// stream-scoped).
+func FuzzDecodeRequest(f *testing.F) {
+	for _, frame := range seedRequestFrames(f) {
+		f.Add(frame)
+		if len(frame) > 4 {
+			f.Add(frame[:len(frame)/2]) // truncated mid-frame
+			f.Add(frame[:len(frame)-3]) // truncated mid-value
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := gob.NewDecoder(bytes.NewReader(data))
+		for i := 0; i < 2; i++ {
+			var req request
+			if err := dec.Decode(&req); err != nil {
+				return // error is the contract; panic or hang is the bug
+			}
+		}
+	})
+}
+
+// FuzzDecodeResponse is the client-side mirror: a corrupt server reply
+// must fail the decode, not the process.
+func FuzzDecodeResponse(f *testing.F) {
+	for _, frame := range seedResponseFrames(f) {
+		f.Add(frame)
+		if len(frame) > 4 {
+			f.Add(frame[:len(frame)/2])
+			f.Add(frame[:len(frame)-3])
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := gob.NewDecoder(bytes.NewReader(data))
+		for i := 0; i < 2; i++ {
+			var resp response
+			if err := dec.Decode(&resp); err != nil {
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,228 @@
+package agentrpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/parallel"
+)
+
+// Policy shapes the client side's fault handling: per-attempt deadlines,
+// retry with deterministic exponential backoff + jitter, connection-pool
+// bounds, and slow-call hedging for read-only ops. The zero value is not
+// usable directly; Dial fills in DefaultPolicy unless WithPolicy is
+// given.
+type Policy struct {
+	// Timeout bounds one attempt's round trip. It is enforced as a
+	// net.Conn deadline, so a hung peer fails the attempt instead of
+	// blocking the caller forever. <= 0 disables the per-attempt
+	// deadline (a context deadline still applies).
+	Timeout time.Duration
+	// MaxAttempts bounds the total tries per logical call (first attempt
+	// + retries). Only transport failures (dial, send, receive,
+	// deadline) are retried; remote application errors are final.
+	// Values < 1 mean one attempt.
+	MaxAttempts int
+	// BackoffBase and BackoffMax shape the exponential backoff between
+	// attempts: attempt n sleeps a jittered duration in
+	// [d/2, d] with d = min(BackoffBase << (n-1), BackoffMax). The
+	// jitter derives from Seed and the call's Seq via splitmix64
+	// seed-splitting, so retry schedules are deterministic under test.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// HedgeDelay, when > 0, launches a second attempt of a read-only
+	// call (ClusterID, Evaluate, Profit, Snapshot) on its own
+	// connection after this delay; the first result wins and the loser
+	// is abandoned. Mutating calls never hedge. 0 disables hedging.
+	HedgeDelay time.Duration
+	// MaxConns bounds the connections — and hence concurrent in-flight
+	// attempts — per RemoteAgent. <= 0 means 4. Hedging needs at least
+	// 2 to be useful.
+	MaxConns int
+	// Seed drives the retry jitter and the client's idempotency Src id.
+	// 0 (the default) draws a random Src; a fixed seed makes both the
+	// backoff schedule and the Src deterministic per dial order.
+	Seed int64
+}
+
+// DefaultPolicy is the production default: generous per-attempt
+// deadline, a few retries with millisecond-scale backoff, hedging off.
+func DefaultPolicy() Policy {
+	return Policy{
+		Timeout:     2 * time.Minute,
+		MaxAttempts: 4,
+		BackoffBase: 5 * time.Millisecond,
+		BackoffMax:  500 * time.Millisecond,
+		MaxConns:    4,
+	}
+}
+
+func (p Policy) maxConns() int {
+	if p.MaxConns > 0 {
+		return p.MaxConns
+	}
+	return 4
+}
+
+func (p Policy) attempts() int {
+	if p.MaxAttempts > 0 {
+		return p.MaxAttempts
+	}
+	return 1
+}
+
+// backoff returns the jittered sleep before retry attempt n (n >= 1).
+func (p Policy) backoff(n int, rng *rand.Rand) time.Duration {
+	base, max := p.BackoffBase, p.BackoffMax
+	if base <= 0 {
+		base = 5 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 500 * time.Millisecond
+	}
+	d := base
+	for i := 1; i < n; i++ {
+		d <<= 1
+		if d >= max || d <= 0 {
+			d = max
+			break
+		}
+	}
+	if d > max {
+		d = max
+	}
+	half := int64(d / 2)
+	return time.Duration(half + rng.Int63n(half+1))
+}
+
+// dialCount distinguishes the Src ids of same-seed dials: two
+// RemoteAgents sharing a Policy (and a server) must not collide on
+// (Src, Seq) idempotency keys.
+var dialCount atomic.Uint64
+
+// srcID derives the client's idempotency source id: deterministic per
+// dial order under a fixed seed, random otherwise. Never 0 (0 on the
+// wire means "no dedup" for older peers).
+func (p Policy) srcID() uint64 {
+	n := dialCount.Add(1)
+	if p.Seed != 0 {
+		if v := uint64(parallel.SplitSeed(p.Seed, n)); v != 0 {
+			return v
+		}
+		return 1
+	}
+	for {
+		if v := rand.Uint64(); v != 0 {
+			return v
+		}
+	}
+}
+
+// A TransportError is a connection-level failure: dial, send, receive,
+// or deadline. The outcome of the call is unknown ("ambiguous"), and a
+// retry is safe — mutating ops are deduplicated server-side by their
+// (Src, Seq) idempotency id.
+type TransportError struct {
+	Op    string // op name ("commit", "evaluate", ...)
+	Addr  string // peer address
+	Phase string // "dial", "send", "receive"
+	Err   error
+}
+
+func (e *TransportError) Error() string {
+	return fmt.Sprintf("agentrpc: %s %s: %s: %v", e.Op, e.Addr, e.Phase, e.Err)
+}
+
+func (e *TransportError) Unwrap() error { return e.Err }
+
+// A RemoteError is an application-level error the remote agent
+// returned. It is deterministic (the remote state machine already
+// decided) and is never retried.
+type RemoteError struct {
+	Op   string
+	Addr string
+	Msg  string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("agentrpc: %s %s: remote: %s", e.Op, e.Addr, e.Msg)
+}
+
+// retryable reports whether err is a transport failure worth another
+// attempt.
+func retryable(err error) bool {
+	var te *TransportError
+	return errors.As(err, &te)
+}
+
+// sleepCtx sleeps d or until ctx is done; reports whether the full
+// sleep happened.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// dedupKey identifies one logical mutating call across retries.
+type dedupKey struct{ src, seq uint64 }
+
+// dedupEntry is the recorded (or in-progress) outcome of one mutating
+// call. done is closed once resp is final, so a retry that arrives
+// while the original is still executing waits for the one true outcome
+// instead of re-applying the op.
+type dedupEntry struct {
+	done chan struct{}
+	resp response
+}
+
+// dedupCache remembers the outcomes of recent mutating calls so a retry
+// after an ambiguous failure (request applied, response lost) replays
+// the recorded response instead of re-applying the operation. Bounded
+// FIFO eviction; the window only needs to cover the client's retry
+// horizon, not history.
+type dedupCache struct {
+	cap  int
+	m    map[dedupKey]*dedupEntry
+	ring []dedupKey
+	next int
+}
+
+const defaultDedupWindow = 4096
+
+func newDedupCache(capacity int) *dedupCache {
+	if capacity <= 0 {
+		capacity = defaultDedupWindow
+	}
+	return &dedupCache{cap: capacity, m: make(map[dedupKey]*dedupEntry, capacity)}
+}
+
+func (c *dedupCache) get(k dedupKey) (*dedupEntry, bool) {
+	e, ok := c.m[k]
+	return e, ok
+}
+
+func (c *dedupCache) put(k dedupKey, e *dedupEntry) {
+	if _, ok := c.m[k]; ok {
+		return
+	}
+	if len(c.ring) < c.cap {
+		c.ring = append(c.ring, k)
+	} else {
+		delete(c.m, c.ring[c.next])
+		c.ring[c.next] = k
+		c.next = (c.next + 1) % c.cap
+	}
+	c.m[k] = e
+}

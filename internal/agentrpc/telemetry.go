@@ -11,6 +11,7 @@ type Option func(*options)
 
 type options struct {
 	tel *telemetry.Set
+	pol Policy
 }
 
 // WithTelemetry wires RPC metrics (per-op latency histograms,
@@ -18,6 +19,13 @@ type options struct {
 // server or client it is passed to.
 func WithTelemetry(set *telemetry.Set) Option {
 	return func(o *options) { o.tel = set }
+}
+
+// WithPolicy replaces the client's DefaultPolicy: per-attempt deadline,
+// retry/backoff schedule, hedging delay, connection bound and the seed
+// driving jitter + idempotency ids. Ignored by servers.
+func WithPolicy(p Policy) Option {
+	return func(o *options) { o.pol = p }
 }
 
 // rpcTel holds pre-resolved per-op handles, indexed by op. A nil
@@ -30,6 +38,17 @@ type rpcTel struct {
 	bytesIn   *telemetry.Counter
 	bytesOut  *telemetry.Counter
 	spanNames [opEnd]string
+
+	// Fault-handling counters. Client side: retries (attempts after the
+	// first), redials (replacement dials after a broken conn), hedges
+	// (second attempts launched) and hedgeWins (hedge returned first).
+	// Server side: dedupHits (retried mutating calls answered from the
+	// idempotency cache instead of re-applied).
+	retries   *telemetry.Counter
+	redials   *telemetry.Counter
+	hedges    *telemetry.Counter
+	hedgeWins *telemetry.Counter
+	dedupHits *telemetry.Counter
 }
 
 // newRPCTel resolves handles for one side of the protocol; side is
@@ -50,6 +69,18 @@ func newRPCTel(set *telemetry.Set, side string) *rpcTel {
 		t.errors[o] = set.Counter(telemetry.Name("rpc_"+side+"_errors_total", "op", name))
 		t.latency[o] = set.Histogram(telemetry.Name("rpc_"+side+"_latency_seconds", "op", name), telemetry.DurationBuckets)
 		t.spanNames[o] = "rpc." + name
+	}
+	switch side {
+	case "client":
+		set.Metrics.Help("rpc_client_retries_total", "agentrpc retry attempts after transport failures")
+		set.Metrics.Help("rpc_client_hedge_wins_total", "hedged read-only calls whose second attempt returned first")
+		t.retries = set.Counter("rpc_client_retries_total")
+		t.redials = set.Counter("rpc_client_redials_total")
+		t.hedges = set.Counter("rpc_client_hedges_total")
+		t.hedgeWins = set.Counter("rpc_client_hedge_wins_total")
+	case "server":
+		set.Metrics.Help("rpc_server_dedup_hits_total", "retried mutating calls answered from the idempotency cache")
+		t.dedupHits = set.Counter("rpc_server_dedup_hits_total")
 	}
 	return t
 }

@@ -1,0 +1,133 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/alloc"
+	"repro/internal/cluster"
+	"repro/internal/model"
+	"repro/internal/parallel"
+)
+
+// AgentFaults shapes WrapAgent's per-call injection: each call draws one
+// cumulative band (error first, then delay), so schedules compose the
+// same way conn-level Faults do.
+type AgentFaults struct {
+	// ErrProb fails the call with ErrInjected before reaching the inner
+	// agent.
+	ErrProb float64
+	// DelayProb stalls the call for Delay before forwarding it.
+	DelayProb float64
+	Delay     time.Duration
+}
+
+// FlakyAgent wraps a cluster.Agent with seeded per-call fault
+// injection — the no-network counterpart of Listener for tests that
+// want manager-visible failures without TCP in the loop.
+type FlakyAgent struct {
+	inner cluster.Agent
+	f     AgentFaults
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	calls int64
+	errs  int64
+}
+
+// WrapAgent wraps inner; the fault stream derives from (seed, idx) so
+// each wrapped agent draws independently.
+func WrapAgent(inner cluster.Agent, f AgentFaults, seed int64, idx uint64) *FlakyAgent {
+	return &FlakyAgent{inner: inner, f: f, rng: parallel.Rand(seed, idx)}
+}
+
+// Calls and Errs report the wrapper's traffic: total calls forwarded or
+// failed, and injected failures among them.
+func (a *FlakyAgent) Calls() int64 { a.mu.Lock(); defer a.mu.Unlock(); return a.calls }
+func (a *FlakyAgent) Errs() int64  { a.mu.Lock(); defer a.mu.Unlock(); return a.errs }
+
+// inject draws the call's fate; it returns a non-nil error when the
+// call must fail without reaching the inner agent.
+func (a *FlakyAgent) inject(op string) error {
+	a.mu.Lock()
+	a.calls++
+	u := a.rng.Float64()
+	var delay time.Duration
+	fail := false
+	switch {
+	case u < a.f.ErrProb:
+		fail = true
+		a.errs++
+	case u < a.f.ErrProb+a.f.DelayProb:
+		delay = a.f.Delay
+	}
+	a.mu.Unlock()
+	if fail {
+		return fmt.Errorf("chaos: agent %s: %w", op, ErrInjected)
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return nil
+}
+
+func (a *FlakyAgent) ClusterID(ctx context.Context) (model.ClusterID, error) {
+	if err := a.inject("cluster_id"); err != nil {
+		return 0, err
+	}
+	return a.inner.ClusterID(ctx)
+}
+
+func (a *FlakyAgent) Reset(ctx context.Context) error {
+	if err := a.inject("reset"); err != nil {
+		return err
+	}
+	return a.inner.Reset(ctx)
+}
+
+func (a *FlakyAgent) Evaluate(ctx context.Context, id model.ClientID) (cluster.EvalResult, error) {
+	if err := a.inject("evaluate"); err != nil {
+		return cluster.EvalResult{}, err
+	}
+	return a.inner.Evaluate(ctx, id)
+}
+
+func (a *FlakyAgent) Commit(ctx context.Context, id model.ClientID, portions []alloc.Portion) error {
+	if err := a.inject("commit"); err != nil {
+		return err
+	}
+	return a.inner.Commit(ctx, id, portions)
+}
+
+func (a *FlakyAgent) Remove(ctx context.Context, id model.ClientID) error {
+	if err := a.inject("remove"); err != nil {
+		return err
+	}
+	return a.inner.Remove(ctx, id)
+}
+
+func (a *FlakyAgent) Improve(ctx context.Context) (cluster.ImproveStats, error) {
+	if err := a.inject("improve"); err != nil {
+		return cluster.ImproveStats{}, err
+	}
+	return a.inner.Improve(ctx)
+}
+
+func (a *FlakyAgent) Profit(ctx context.Context) (float64, error) {
+	if err := a.inject("profit"); err != nil {
+		return 0, err
+	}
+	return a.inner.Profit(ctx)
+}
+
+func (a *FlakyAgent) Snapshot(ctx context.Context) (map[model.ClientID][]alloc.Portion, error) {
+	if err := a.inject("snapshot"); err != nil {
+		return nil, err
+	}
+	return a.inner.Snapshot(ctx)
+}
+
+func (a *FlakyAgent) Close() error { return a.inner.Close() }

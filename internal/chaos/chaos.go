@@ -1,0 +1,319 @@
+// Package chaos is the proving ground for the fault-tolerant control
+// plane: seeded, deterministic fault injection at two layers — the
+// net.Conn byte stream under the agentrpc wire (drops, delays, I/O
+// errors, byte truncation, crash-restart) and the cluster.Agent
+// interface itself (latency and error injection without a network).
+//
+// Every random decision derives from a master seed via splitmix64
+// seed-splitting, one independent stream per connection or per wrapped
+// agent, so a fault schedule replays bit-for-bit regardless of
+// goroutine scheduling: the k-th operation on the n-th connection
+// always sees the same draw.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/parallel"
+)
+
+// ErrInjected marks a fault synthesized by this package, so tests can
+// distinguish injected failures from real ones with errors.Is.
+var ErrInjected = errors.New("chaos: injected fault")
+
+// Faults is one connection's (or agent's) fault profile. Probabilities
+// are per I/O operation (one Read or Write call) and are drawn as a
+// single cumulative band per op — at most one fault fires per op, and
+// raising one probability never changes which draws trigger another.
+type Faults struct {
+	// DropProb closes the connection instead of performing the op.
+	DropProb float64
+	// ErrProb fails the op with ErrInjected without closing the conn;
+	// the gob stream is desynchronized either way, so the client must
+	// treat it exactly like a drop.
+	ErrProb float64
+	// DelayProb stalls the op for Delay before performing it.
+	DelayProb float64
+	Delay     time.Duration
+	// TruncProb writes (or reads) only the first half of the buffer and
+	// then closes the connection — a mid-frame cut.
+	TruncProb float64
+	// FailWriteAt / FailReadAt, when > 0, close the connection on the
+	// n-th Write / Read call (1-based), deterministically — for scripted
+	// "the response was lost" scenarios. They fire independently of the
+	// probabilistic bands.
+	FailWriteAt int
+	FailReadAt  int
+}
+
+func (f Faults) active() bool {
+	return f.DropProb > 0 || f.ErrProb > 0 || f.DelayProb > 0 ||
+		f.TruncProb > 0 || f.FailWriteAt > 0 || f.FailReadAt > 0
+}
+
+// Stats counts the faults a Listener (or Agent wrapper) injected.
+type Stats struct {
+	Drops   int64
+	Errs    int64
+	Delays  int64
+	Truncs  int64
+	Crashes int64
+}
+
+// Listener wraps a net.Listener with per-connection fault injection and
+// crash-restart. Connections are numbered in accept order; PerConn maps
+// a connection's index to its fault profile, so a schedule can single
+// out "the manager's third connection" deterministically.
+type Listener struct {
+	net.Listener
+	seed    int64
+	perConn func(conn int) Faults
+
+	mu        sync.Mutex
+	accepted  int
+	live      map[net.Conn]struct{}
+	downUntil time.Time
+	stats     Stats
+	// crashReads, when > 0, arms a one-shot Crash(crashDown) after that
+	// many more successful reads across all connections.
+	crashReads int64
+	crashDown  time.Duration
+}
+
+// NewListener wraps ln. perConn returns the fault profile for the n-th
+// accepted connection (0-based); nil means no faults (crash-restart via
+// Crash still works).
+func NewListener(ln net.Listener, seed int64, perConn func(conn int) Faults) *Listener {
+	return &Listener{
+		Listener: ln,
+		seed:     seed,
+		perConn:  perConn,
+		live:     make(map[net.Conn]struct{}),
+	}
+}
+
+// Accept applies the crash window (connections during the down window
+// are accepted and instantly closed, like a dead backend's OS RST) and
+// wraps live connections with their fault profile.
+func (l *Listener) Accept() (net.Conn, error) {
+	for {
+		c, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		l.mu.Lock()
+		idx := l.accepted
+		l.accepted++
+		down := time.Now().Before(l.downUntil)
+		l.mu.Unlock()
+		if down {
+			c.Close()
+			continue
+		}
+		var f Faults
+		if l.perConn != nil {
+			f = l.perConn(idx)
+		}
+		fc := &faultConn{
+			Conn: c,
+			f:    f,
+			rng:  parallel.Rand(l.seed, uint64(idx)),
+			ln:   l,
+		}
+		l.mu.Lock()
+		l.live[fc] = struct{}{}
+		l.mu.Unlock()
+		return fc, nil
+	}
+}
+
+// Crash kills every live connection and refuses new ones for the down
+// window — a process crash plus restart. Agent state survives (the
+// in-process server keeps its allocation), modeling a warm restart
+// behind a stable address.
+func (l *Listener) Crash(down time.Duration) {
+	l.mu.Lock()
+	l.downUntil = time.Now().Add(down)
+	conns := make([]net.Conn, 0, len(l.live))
+	for c := range l.live {
+		conns = append(conns, c)
+	}
+	l.live = make(map[net.Conn]struct{})
+	l.stats.Crashes++
+	l.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// CrashAfterReads arms a one-shot crash: after the listener's
+// connections have served n more successful Read calls in total, Crash
+// fires with the given down window. Returns immediately.
+func (l *Listener) CrashAfterReads(n int64, down time.Duration) {
+	l.mu.Lock()
+	l.crashReads = n
+	l.crashDown = down
+	l.mu.Unlock()
+}
+
+// Stats returns a copy of the fault counters.
+func (l *Listener) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// noteRead decrements an armed CrashAfterReads trigger; fired crash
+// runs outside the lock.
+func (l *Listener) noteRead() {
+	l.mu.Lock()
+	if l.crashReads <= 0 {
+		l.mu.Unlock()
+		return
+	}
+	l.crashReads--
+	fire := l.crashReads == 0
+	down := l.crashDown
+	l.mu.Unlock()
+	if fire {
+		l.Crash(down)
+	}
+}
+
+func (l *Listener) drop(c net.Conn) {
+	l.mu.Lock()
+	delete(l.live, c)
+	l.stats.Drops++
+	l.mu.Unlock()
+}
+
+func (l *Listener) count(f func(*Stats)) {
+	l.mu.Lock()
+	f(&l.stats)
+	l.mu.Unlock()
+}
+
+// faultConn injects faults on one connection's byte stream. The rng is
+// only touched under mu, so concurrent Read/Write (as gob does —
+// encoder and decoder on separate goroutines during hedging) stay
+// race-free and the draw sequence stays deterministic per connection.
+type faultConn struct {
+	net.Conn
+	f  Faults
+	ln *Listener
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	reads  int
+	writes int
+}
+
+// decide draws the single cumulative band for one op and updates the
+// scripted counters. Returns the action to take.
+type action int
+
+const (
+	actPass action = iota
+	actDrop
+	actErr
+	actDelay
+	actTrunc
+)
+
+func (c *faultConn) decide(write bool) (action, time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if write {
+		c.writes++
+		if c.f.FailWriteAt > 0 && c.writes == c.f.FailWriteAt {
+			return actDrop, 0
+		}
+	} else {
+		c.reads++
+		if c.f.FailReadAt > 0 && c.reads == c.f.FailReadAt {
+			return actDrop, 0
+		}
+	}
+	if !c.f.active() {
+		return actPass, 0
+	}
+	u := c.rng.Float64()
+	switch {
+	case u < c.f.DropProb:
+		return actDrop, 0
+	case u < c.f.DropProb+c.f.ErrProb:
+		return actErr, 0
+	case u < c.f.DropProb+c.f.ErrProb+c.f.DelayProb:
+		return actDelay, c.f.Delay
+	case u < c.f.DropProb+c.f.ErrProb+c.f.DelayProb+c.f.TruncProb:
+		return actTrunc, 0
+	}
+	return actPass, 0
+}
+
+func (c *faultConn) Read(p []byte) (int, error) {
+	act, d := c.decide(false)
+	switch act {
+	case actDrop:
+		c.ln.drop(c)
+		c.Conn.Close()
+		return 0, fmt.Errorf("chaos: read dropped: %w", ErrInjected)
+	case actErr:
+		c.ln.count(func(s *Stats) { s.Errs++ })
+		return 0, fmt.Errorf("chaos: read error: %w", ErrInjected)
+	case actDelay:
+		c.ln.count(func(s *Stats) { s.Delays++ })
+		time.Sleep(d)
+	case actTrunc:
+		c.ln.count(func(s *Stats) { s.Truncs++ })
+		if len(p) > 1 {
+			p = p[:len(p)/2]
+		}
+		n, _ := c.Conn.Read(p)
+		c.Conn.Close()
+		return n, fmt.Errorf("chaos: read truncated: %w", ErrInjected)
+	}
+	n, err := c.Conn.Read(p)
+	if err == nil {
+		c.ln.noteRead()
+	}
+	return n, err
+}
+
+func (c *faultConn) Write(p []byte) (int, error) {
+	act, d := c.decide(true)
+	switch act {
+	case actDrop:
+		c.ln.drop(c)
+		c.Conn.Close()
+		return 0, fmt.Errorf("chaos: write dropped: %w", ErrInjected)
+	case actErr:
+		c.ln.count(func(s *Stats) { s.Errs++ })
+		return 0, fmt.Errorf("chaos: write error: %w", ErrInjected)
+	case actDelay:
+		c.ln.count(func(s *Stats) { s.Delays++ })
+		time.Sleep(d)
+	case actTrunc:
+		c.ln.count(func(s *Stats) { s.Truncs++ })
+		half := p
+		if len(p) > 1 {
+			half = p[:len(p)/2]
+		}
+		n, _ := c.Conn.Write(half)
+		c.Conn.Close()
+		return n, fmt.Errorf("chaos: write truncated: %w", ErrInjected)
+	}
+	return c.Conn.Write(p)
+}
+
+func (c *faultConn) Close() error {
+	c.ln.mu.Lock()
+	delete(c.ln.live, c)
+	c.ln.mu.Unlock()
+	return c.Conn.Close()
+}

@@ -5,13 +5,14 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"strconv"
-	"sync"
 	"time"
 
 	"repro/internal/alloc"
 	"repro/internal/core"
 	"repro/internal/model"
+	"repro/internal/parallel"
 	"repro/internal/telemetry"
 )
 
@@ -46,10 +47,28 @@ type ManagerConfig struct {
 	// 0 keeps the exhaustive scan; >= the cluster count is equivalent
 	// to it.
 	ReassignTopK int
+	// MaxInFlight bounds concurrent per-agent RPCs in every manager
+	// fan-out (evaluate broadcasts, replay loads, improve rounds,
+	// profit polls, snapshot merges) — the round loop's backpressure:
+	// hundreds of agents never become hundreds of simultaneous
+	// in-flight calls. 0 uses DefaultMaxInFlight.
+	MaxInFlight int
+	// CallTimeout, when > 0, bounds each per-agent unit of work in a
+	// fan-out (one Evaluate, one Improve, one snapshot, one replay)
+	// with a context deadline; the RPC layer turns it into conn
+	// deadlines, so a hung agent fails its round instead of stalling
+	// the whole solve. 0 leaves rounds unbounded (the dialing policy's
+	// per-attempt Timeout still applies to remote agents).
+	CallTimeout time.Duration
 	// Telemetry, when non-nil, instruments the manager: solve/round
 	// spans, round-latency histograms and per-cluster profit gauges.
 	Telemetry *telemetry.Set
 }
+
+// DefaultMaxInFlight is the fan-out concurrency bound when
+// ManagerConfig.MaxInFlight is 0. Agent RPCs are I/O-bound, so the
+// bound is deliberately above GOMAXPROCS on small hosts.
+const DefaultMaxInFlight = 16
 
 // DefaultManagerConfig matches the sequential solver's defaults.
 func DefaultManagerConfig() ManagerConfig {
@@ -163,7 +182,8 @@ func NewManager(scen *model.Scenario, agents []Agent, cfg ManagerConfig) (*Manag
 		}
 	}
 	if cfg.NumInitSolutions <= 0 || cfg.MaxImproveRounds < 0 || cfg.Tolerance < 0 ||
-		cfg.MaxReassignPasses < 0 || cfg.ReassignWorkers < 0 || cfg.ReassignTopK < 0 {
+		cfg.MaxReassignPasses < 0 || cfg.ReassignWorkers < 0 || cfg.ReassignTopK < 0 ||
+		cfg.MaxInFlight < 0 || cfg.CallTimeout < 0 {
 		return nil, fmt.Errorf("cluster: invalid config %+v", cfg)
 	}
 	m := &Manager{
@@ -315,10 +335,11 @@ type assignment struct {
 // initialPass runs one randomized greedy pass across the agents and
 // returns the assignment map and its total profit.
 func (m *Manager) initialPass(ctx context.Context, rng *rand.Rand) (map[model.ClientID]assignment, float64, error) {
-	for _, ag := range m.agents {
-		if err := ag.Reset(ctx); err != nil {
-			return nil, 0, fmt.Errorf("cluster: reset: %w", err)
-		}
+	errs := m.fanOut(ctx, func(ctx context.Context, k int) error {
+		return m.agents[k].Reset(ctx)
+	})
+	if err := errors.Join(errs...); err != nil {
+		return nil, 0, fmt.Errorf("cluster: reset: %w", err)
 	}
 	assignments := make(map[model.ClientID]assignment, m.scen.NumClients())
 	var heap bidHeap
@@ -409,20 +430,44 @@ func (h bidHeap) pop() (bidHeap, bidRef) {
 	return h, top
 }
 
-// broadcastEvaluate collects all agents' bids for a client in parallel —
-// the distributed analogue of trying every cluster.
+// maxInFlight resolves the fan-out concurrency bound.
+func (m *Manager) maxInFlight() int {
+	if m.cfg.MaxInFlight > 0 {
+		return m.cfg.MaxInFlight
+	}
+	return DefaultMaxInFlight
+}
+
+// fanOut runs fn once per agent on a bounded worker pool — the round
+// loop's backpressure: at most maxInFlight agent calls are in flight at
+// once, regardless of how many agents the manager coordinates. Each
+// per-agent unit runs under CallTimeout when configured, so one hung
+// agent fails its own slot instead of wedging the round. The returned
+// slice has one entry per agent in agent order (nil on success), so
+// callers keep deterministic error folding.
+func (m *Manager) fanOut(ctx context.Context, fn func(ctx context.Context, k int) error) []error {
+	errs := make([]error, len(m.agents))
+	parallel.For(parallel.Options{Workers: m.maxInFlight(), Ctx: ctx}, len(m.agents), func(_, k int) {
+		actx := ctx
+		if m.cfg.CallTimeout > 0 {
+			var cancel context.CancelFunc
+			actx, cancel = context.WithTimeout(ctx, m.cfg.CallTimeout)
+			defer cancel()
+		}
+		errs[k] = fn(actx, k)
+	})
+	return errs
+}
+
+// broadcastEvaluate collects all agents' bids for a client on the
+// bounded fan-out — the distributed analogue of trying every cluster.
 func (m *Manager) broadcastEvaluate(ctx context.Context, id model.ClientID) ([]EvalResult, error) {
 	bids := make([]EvalResult, len(m.agents))
-	errs := make([]error, len(m.agents))
-	var wg sync.WaitGroup
-	for k := range m.agents {
-		wg.Add(1)
-		go func(k int) {
-			defer wg.Done()
-			bids[k], errs[k] = m.agents[k].Evaluate(ctx, id)
-		}(k)
-	}
-	wg.Wait()
+	errs := m.fanOut(ctx, func(ctx context.Context, k int) error {
+		var err error
+		bids[k], err = m.agents[k].Evaluate(ctx, id)
+		return err
+	})
 	if err := errors.Join(errs...); err != nil {
 		return nil, fmt.Errorf("cluster: evaluate client %d: %w", id, err)
 	}
@@ -432,8 +477,9 @@ func (m *Manager) broadcastEvaluate(ctx context.Context, id model.ClientID) ([]E
 // load resets the agents and replays an assignment map into them. Each
 // agent only sees its own cluster's clients, so the replays are grouped
 // per cluster (in client-ID order within each group, for deterministic
-// agent-side state) and run concurrently, one goroutine per agent —
-// the same fan-out shape as broadcastEvaluate.
+// agent-side state) and run on the bounded fan-out — the same shape as
+// broadcastEvaluate. CallTimeout covers one agent's whole replay, not
+// each Commit, so size it for the largest cluster.
 func (m *Manager) load(ctx context.Context, assignments map[model.ClientID]assignment) error {
 	groups := make([][]model.ClientID, len(m.agents))
 	for i := 0; i < m.scen.NumClients(); i++ {
@@ -442,42 +488,29 @@ func (m *Manager) load(ctx context.Context, assignments map[model.ClientID]assig
 			groups[as.cluster] = append(groups[as.cluster], id)
 		}
 	}
-	errs := make([]error, len(m.agents))
-	var wg sync.WaitGroup
-	for k := range m.agents {
-		wg.Add(1)
-		go func(k int) {
-			defer wg.Done()
-			if err := m.agents[k].Reset(ctx); err != nil {
-				errs[k] = fmt.Errorf("cluster: reset: %w", err)
-				return
+	errs := m.fanOut(ctx, func(ctx context.Context, k int) error {
+		if err := m.agents[k].Reset(ctx); err != nil {
+			return fmt.Errorf("cluster: reset: %w", err)
+		}
+		for _, id := range groups[k] {
+			if err := m.agents[k].Commit(ctx, id, assignments[id].portions); err != nil {
+				return fmt.Errorf("cluster: replay client %d: %w", id, err)
 			}
-			for _, id := range groups[k] {
-				if err := m.agents[k].Commit(ctx, id, assignments[id].portions); err != nil {
-					errs[k] = fmt.Errorf("cluster: replay client %d: %w", id, err)
-					return
-				}
-			}
-		}(k)
-	}
-	wg.Wait()
+		}
+		return nil
+	})
 	return errors.Join(errs...)
 }
 
-// improveRound runs one Improve on every agent in parallel and returns
-// the total profit afterwards.
+// improveRound runs one Improve on every agent (bounded fan-out) and
+// returns the total profit afterwards.
 func (m *Manager) improveRound(ctx context.Context, stats *ManagerStats) (float64, error) {
 	results := make([]ImproveStats, len(m.agents))
-	errs := make([]error, len(m.agents))
-	var wg sync.WaitGroup
-	for k := range m.agents {
-		wg.Add(1)
-		go func(k int) {
-			defer wg.Done()
-			results[k], errs[k] = m.agents[k].Improve(ctx)
-		}(k)
-	}
-	wg.Wait()
+	errs := m.fanOut(ctx, func(ctx context.Context, k int) error {
+		var err error
+		results[k], err = m.agents[k].Improve(ctx)
+		return err
+	})
 	if err := errors.Join(errs...); err != nil {
 		return 0, fmt.Errorf("cluster: improve round: %w", err)
 	}
@@ -495,26 +528,19 @@ func (m *Manager) improveRound(ctx context.Context, stats *ManagerStats) (float6
 
 // totalProfit sums the agents' cluster profits. Each agent answers from
 // its allocation's incremental ledger, so a round's total costs
-// O(mutations since the previous round), not O(cloud). The queries fan
-// out one goroutine per agent; the sum folds in fixed agent order, so
-// the floating-point total is independent of scheduling.
+// O(mutations since the previous round), not O(cloud). The queries run
+// on the bounded fan-out; the sum folds in fixed agent order, so the
+// floating-point total is independent of scheduling.
 func (m *Manager) totalProfit(ctx context.Context) (float64, error) {
 	profits := make([]float64, len(m.agents))
-	errs := make([]error, len(m.agents))
-	var wg sync.WaitGroup
-	for k := range m.agents {
-		wg.Add(1)
-		go func(k int) {
-			defer wg.Done()
-			p, err := m.agents[k].Profit(ctx)
-			if err != nil {
-				errs[k] = fmt.Errorf("cluster: profit of cluster %d: %w", k, err)
-				return
-			}
-			profits[k] = p
-		}(k)
-	}
-	wg.Wait()
+	errs := m.fanOut(ctx, func(ctx context.Context, k int) error {
+		p, err := m.agents[k].Profit(ctx)
+		if err != nil {
+			return fmt.Errorf("cluster: profit of cluster %d: %w", k, err)
+		}
+		profits[k] = p
+		return nil
+	})
 	if err := errors.Join(errs...); err != nil {
 		return 0, err
 	}
@@ -525,16 +551,34 @@ func (m *Manager) totalProfit(ctx context.Context) (float64, error) {
 	return total, nil
 }
 
-// merge combines every agent's snapshot into one allocation.
+// merge combines every agent's snapshot into one allocation. Snapshots
+// are fetched on the bounded fan-out, then folded serially in agent
+// order with sorted client IDs, so the merged allocation's mutation
+// order — and hence its ledger's float summation order — is identical
+// run to run. That determinism is what lets the chaos tests compare a
+// faulty solve against the fault-free one bit-for-bit.
 func (m *Manager) merge(ctx context.Context) (*alloc.Allocation, error) {
-	merged := alloc.New(m.scen)
-	for k, ag := range m.agents {
-		snap, err := ag.Snapshot(ctx)
+	snaps := make([]map[model.ClientID][]alloc.Portion, len(m.agents))
+	errs := m.fanOut(ctx, func(ctx context.Context, k int) error {
+		snap, err := m.agents[k].Snapshot(ctx)
 		if err != nil {
-			return nil, fmt.Errorf("cluster: snapshot of cluster %d: %w", k, err)
+			return fmt.Errorf("cluster: snapshot of cluster %d: %w", k, err)
 		}
-		for id, portions := range snap {
-			if err := merged.Assign(id, model.ClusterID(k), portions); err != nil {
+		snaps[k] = snap
+		return nil
+	})
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	merged := alloc.New(m.scen)
+	for k, snap := range snaps {
+		ids := make([]model.ClientID, 0, len(snap))
+		for id := range snap {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			if err := merged.Assign(id, model.ClusterID(k), snap[id]); err != nil {
 				return nil, fmt.Errorf("cluster: merge client %d: %w", id, err)
 			}
 		}

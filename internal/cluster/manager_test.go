@@ -1,0 +1,239 @@
+package cluster
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/alloc"
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+// TestBidHeapOrdering: the commit-retry heap must yield bids in the
+// order the former linear rescan selected — estimate descending,
+// cluster index ascending on ties — for any insertion order.
+func TestBidHeapOrdering(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []bidRef
+		want []int // expected cluster index pop order
+	}{
+		{"empty", nil, nil},
+		{"single", []bidRef{{est: 1, k: 0}}, []int{0}},
+		{
+			"descending estimates",
+			[]bidRef{{est: 1, k: 0}, {est: 3, k: 1}, {est: 2, k: 2}},
+			[]int{1, 2, 0},
+		},
+		{
+			"ties break on lower cluster",
+			[]bidRef{{est: 5, k: 3}, {est: 5, k: 1}, {est: 5, k: 2}},
+			[]int{1, 2, 3},
+		},
+		{
+			"duplicates survive",
+			[]bidRef{{est: 2, k: 1}, {est: 2, k: 1}, {est: 7, k: 0}},
+			[]int{0, 1, 1},
+		},
+		{
+			"negative and zero estimates",
+			[]bidRef{{est: -1, k: 0}, {est: 0, k: 1}, {est: -3, k: 2}},
+			[]int{1, 0, 2},
+		},
+		{
+			"already sorted input",
+			[]bidRef{{est: 9, k: 0}, {est: 8, k: 1}, {est: 7, k: 2}, {est: 6, k: 3}},
+			[]int{0, 1, 2, 3},
+		},
+		{
+			"reverse sorted input",
+			[]bidRef{{est: 6, k: 3}, {est: 7, k: 2}, {est: 8, k: 1}, {est: 9, k: 0}},
+			[]int{0, 1, 2, 3},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var h bidHeap
+			for _, b := range tt.in {
+				h = h.push(b)
+			}
+			var got []int
+			var prev *bidRef
+			for len(h) > 0 {
+				var top bidRef
+				h, top = h.pop()
+				if prev != nil && bidBefore(top, *prev) {
+					t.Fatalf("heap yielded %+v after %+v", top, *prev)
+				}
+				p := top
+				prev = &p
+				got = append(got, top.k)
+			}
+			if len(got) != len(tt.want) {
+				t.Fatalf("popped %d bids, want %d", len(got), len(tt.want))
+			}
+			for i := range got {
+				if got[i] != tt.want[i] {
+					t.Fatalf("pop order %v, want %v", got, tt.want)
+				}
+			}
+		})
+	}
+}
+
+// TestMergeRejectsDuplicateClient: two agents both claiming the same
+// client is a state corruption the merge must refuse, not silently
+// double-count.
+func TestMergeRejectsDuplicateClient(t *testing.T) {
+	cfg := workload.DefaultConfig()
+	cfg.NumClients = 4
+	cfg.NumClusters = 2
+	cfg.Seed = 11
+	scen, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agents := localAgents(t, scen)
+	// Commit client 0 into BOTH agents: each agent's local state is
+	// fine in isolation; only the merge can see the conflict.
+	for _, ag := range agents {
+		bid, err := ag.Evaluate(testCtx, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bid.Feasible {
+			t.Skip("client 0 infeasible in generated scenario")
+		}
+		if err := ag.Commit(testCtx, 0, bid.Portions); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mgr, err := NewManager(scen, agents, DefaultManagerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	if _, err := mgr.merge(testCtx); err == nil {
+		t.Fatal("merge accepted a client assigned to two clusters")
+	} else if !strings.Contains(err.Error(), "merge client 0") {
+		t.Fatalf("unexpected merge error: %v", err)
+	}
+}
+
+// rejectAgent bids infeasible for everything — the all-full cloud.
+type rejectAgent struct {
+	id model.ClusterID
+}
+
+func (r *rejectAgent) ClusterID(ctx context.Context) (model.ClusterID, error) { return r.id, nil }
+func (r *rejectAgent) Reset(ctx context.Context) error                        { return nil }
+func (r *rejectAgent) Evaluate(ctx context.Context, id model.ClientID) (EvalResult, error) {
+	return EvalResult{Feasible: false}, nil
+}
+func (r *rejectAgent) Commit(ctx context.Context, id model.ClientID, p []alloc.Portion) error {
+	panic("commit on all-reject agent")
+}
+func (r *rejectAgent) Remove(ctx context.Context, id model.ClientID) error { return nil }
+func (r *rejectAgent) Improve(ctx context.Context) (ImproveStats, error)   { return ImproveStats{}, nil }
+func (r *rejectAgent) Profit(ctx context.Context) (float64, error)         { return 0, nil }
+func (r *rejectAgent) Snapshot(ctx context.Context) (map[model.ClientID][]alloc.Portion, error) {
+	return nil, nil
+}
+func (r *rejectAgent) Close() error { return nil }
+
+// TestSolveAllReject: when no cluster accepts any client the solve
+// still terminates cleanly with zero profit and every client unplaced —
+// and never commits anything.
+func TestSolveAllReject(t *testing.T) {
+	scen := genScenario(t, 6, 3)
+	agents := make([]Agent, scen.Cloud.NumClusters())
+	for k := range agents {
+		agents[k] = &rejectAgent{id: model.ClusterID(k)}
+	}
+	cfg := DefaultManagerConfig()
+	cfg.CentralReassign = false // nothing to polish; keep the stub pure
+	mgr, err := NewManager(scen, agents, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	a, stats, err := mgr.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.FinalProfit != 0 {
+		t.Fatalf("profit %f from an all-reject cloud", stats.FinalProfit)
+	}
+	if stats.Unplaced != scen.NumClients() {
+		t.Fatalf("Unplaced = %d, want %d", stats.Unplaced, scen.NumClients())
+	}
+	if a.NumAssigned() != 0 {
+		t.Fatalf("%d clients assigned by rejecting agents", a.NumAssigned())
+	}
+}
+
+// TestSolveSingleAgentDegenerate: one cluster, no peers to bid against —
+// the solve degenerates to that agent's local search and must still
+// satisfy the attribution identity.
+func TestSolveSingleAgentDegenerate(t *testing.T) {
+	cfg := workload.DefaultConfig()
+	cfg.NumClients = 6
+	cfg.NumClusters = 1
+	cfg.Seed = 9
+	scen, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agents := localAgents(t, scen)
+	if len(agents) != 1 {
+		t.Fatalf("%d agents for a 1-cluster scenario", len(agents))
+	}
+	mgr, err := NewManager(scen, agents, DefaultManagerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	a, stats, err := mgr.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Profit()-stats.FinalProfit) > 1e-9*(1+math.Abs(stats.FinalProfit)) {
+		t.Fatalf("allocation profit %f != stats profit %f", a.Profit(), stats.FinalProfit)
+	}
+	at := stats.Attribution
+	if got := at.Initial + at.Improve + at.CentralReassign; math.Abs(got-at.Final) > 1e-6*(1+math.Abs(at.Final)) {
+		t.Fatalf("attribution identity broken: %+v", at)
+	}
+}
+
+// TestManagerConfigFaultFieldsValidation: the new fan-out knobs reject
+// negatives like every other config field.
+func TestManagerConfigFaultFieldsValidation(t *testing.T) {
+	scen := genScenario(t, 5, 1)
+	agents := localAgents(t, scen)
+	bad := DefaultManagerConfig()
+	bad.MaxInFlight = -1
+	if _, err := NewManager(scen, agents, bad); err == nil {
+		t.Fatal("negative MaxInFlight accepted")
+	}
+	bad = DefaultManagerConfig()
+	bad.CallTimeout = -time.Second
+	if _, err := NewManager(scen, agents, bad); err == nil {
+		t.Fatal("negative CallTimeout accepted")
+	}
+	// And the good path: explicit bounds work end to end.
+	good := DefaultManagerConfig()
+	good.MaxInFlight = 2
+	good.CallTimeout = time.Minute
+	mgr, err := NewManager(scen, agents, good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	if _, _, err := mgr.Solve(); err != nil {
+		t.Fatal(err)
+	}
+}

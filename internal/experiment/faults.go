@@ -1,0 +1,88 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+	"time"
+)
+
+// FaultsRow reports one loadtest run: a distributed solve over real TCP
+// under one seeded fault schedule, compared against the fault-free
+// solve of the same instance.
+type FaultsRow struct {
+	// Schedule identifies the run: "baseline" (no faults) or the fault
+	// mix label (e.g. "mixed-12pct", "crash", "slow+hedge").
+	Schedule string `json:"schedule"`
+	Clients  int    `json:"clients"`
+	Clusters int    `json:"clusters"`
+	Seed     int64  `json:"seed"`
+	// FaultRate is the per-I/O-op injected fault probability (sum of the
+	// drop/err/delay/trunc bands).
+	FaultRate float64 `json:"fault_rate"`
+	Crashes   int64   `json:"crashes"`
+
+	// Profit and convergence vs the fault-free run.
+	Profit       float64 `json:"profit"`
+	RefProfit    float64 `json:"ref_profit"`
+	RelProfitGap float64 `json:"rel_profit_gap"`
+	Converged    bool    `json:"converged"`
+	Unplaced     int     `json:"unplaced"`
+
+	// Round throughput.
+	Rounds  int           `json:"rounds"`
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// RoundsPerSec counts improvement rounds per wall-clock second of
+	// the whole solve (0 when the solve converged before one round).
+	RoundsPerSec float64 `json:"rounds_per_sec"`
+
+	// Fault-handling traffic, from the client-side telemetry set.
+	Calls     int64 `json:"calls"`
+	CallErrs  int64 `json:"call_errors"`
+	Retries   int64 `json:"retries"`
+	Redials   int64 `json:"redials"`
+	Hedges    int64 `json:"hedges"`
+	HedgeWins int64 `json:"hedge_wins"`
+	// DedupHits is the server-side count of retried mutating calls
+	// answered from the idempotency cache — each one a double-apply the
+	// scheme prevented.
+	DedupHits int64 `json:"dedup_hits"`
+
+	// Injected is the fault injector's own ledger.
+	InjectedDrops  int64 `json:"injected_drops"`
+	InjectedErrs   int64 `json:"injected_errors"`
+	InjectedDelays int64 `json:"injected_delays"`
+	InjectedTruncs int64 `json:"injected_truncs"`
+}
+
+// FaultsReport is the BENCH_faults.json schema.
+type FaultsReport struct {
+	BenchMeta
+	Rows []FaultsRow `json:"rows"`
+}
+
+// WriteFaultsJSON writes the report in the BENCH_*.json house format.
+func WriteFaultsJSON(w io.Writer, rep *FaultsReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// FaultsTable renders the human-readable summary.
+func FaultsTable(rep *FaultsReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fault injection: distributed solve under chaos (GOMAXPROCS=%d, %d CPUs)\n",
+		rep.GoMaxProcs, rep.NumCPU)
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "schedule\trate\tcrashes\tprofit\tgap\tok\trounds\tr/s\tcalls\tretries\tredials\thedges\twins\tdedup\telapsed")
+	for _, r := range rep.Rows {
+		fmt.Fprintf(w, "%s\t%.0f%%\t%d\t%.2f\t%.2e\t%v\t%d\t%.1f\t%d\t%d\t%d\t%d\t%d\t%d\t%s\n",
+			r.Schedule, r.FaultRate*100, r.Crashes, r.Profit, r.RelProfitGap, r.Converged,
+			r.Rounds, r.RoundsPerSec, r.Calls, r.Retries, r.Redials, r.Hedges, r.HedgeWins,
+			r.DedupHits, r.Elapsed.Round(time.Millisecond))
+	}
+	w.Flush()
+	return b.String()
+}
