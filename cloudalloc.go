@@ -45,6 +45,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/model"
+	"repro/internal/online"
 	"repro/internal/queueing"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -130,6 +131,31 @@ type (
 	// FlightEvent is one recorded solver decision from the flight
 	// recorder ring.
 	FlightEvent = telemetry.Event
+
+	// OnlineService is the streaming serving path: lock-free admission
+	// and placement decisions over a client churn stream, with deferred-
+	// commit write filtering into warm incremental re-solves.
+	OnlineService = online.Service
+	// OnlineConfig tunes the online service (commit thresholds, solver
+	// budget, background commits).
+	OnlineConfig = online.Config
+	// OnlineEvent is one element of the churn stream.
+	OnlineEvent = online.Event
+	// OnlineEventKind discriminates arrivals, departures and rate changes.
+	OnlineEventKind = online.EventKind
+	// OnlineDecision is the service's answer to one event.
+	OnlineDecision = online.Decision
+	// ChurnConfig parameterizes the seeded churn event generator.
+	ChurnConfig = online.ChurnConfig
+	// Churn generates a deterministic churn event stream over a scenario.
+	Churn = online.Churn
+)
+
+// Churn stream event kinds, re-exported from internal/online.
+const (
+	OnlineArrive     = online.EventArrive
+	OnlineDepart     = online.EventDepart
+	OnlineRateChange = online.EventRateChange
 )
 
 // LoadScenario reads a scenario JSON file.
@@ -305,6 +331,27 @@ func (al *Allocator) Improve(a *Allocation) {
 func (al *Allocator) Evaluate(a *Allocation, id ClientID, k ClusterID) (float64, []Portion, error) {
 	return al.solver.AssignDistribute(a, id, k)
 }
+
+// DefaultOnlineConfig returns production-shaped online-service defaults:
+// synchronous (deterministic) commits at 10% relative drift with a cheap
+// incremental solver. Raise CommitRel/CommitFloor to amortize commits
+// over more events; set Background for lock-free serving latency.
+func DefaultOnlineConfig() OnlineConfig { return online.DefaultConfig() }
+
+// NewOnlineService starts the streaming allocation service over the
+// scenario (clients with zero rates start absent). The service owns a
+// deep copy; the caller's scenario is not touched.
+func NewOnlineService(scen *Scenario, cfg OnlineConfig) (*OnlineService, error) {
+	return online.New(scen, cfg)
+}
+
+// DefaultChurnConfig returns a balanced churn mix: equal arrivals and
+// departures with twice as much rate jitter, no flash crowd.
+func DefaultChurnConfig() ChurnConfig { return online.DefaultChurnConfig() }
+
+// NewChurn builds the deterministic churn event generator the online
+// benchmark and replay tests drive the service with.
+func NewChurn(scen *Scenario, cfg ChurnConfig) *Churn { return online.NewChurn(scen, cfg) }
 
 // DefaultPSConfig returns the modified Proportional Share defaults.
 func DefaultPSConfig() PSConfig { return baseline.DefaultPSConfig() }

@@ -195,3 +195,41 @@ func TestPublicAPIScenarioRoundTrip(t *testing.T) {
 		t.Fatalf("loaded %d clients", got.NumClients())
 	}
 }
+
+func TestPublicAPIOnlineService(t *testing.T) {
+	scen := genScenario(t, 20, 9)
+	// First five clients start absent so the churn stream has arrivals.
+	for i := 0; i < 5; i++ {
+		scen.Clients[i].ArrivalRate = 0
+		scen.Clients[i].PredictedRate = 0
+	}
+	svc, err := NewOnlineService(scen, DefaultOnlineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	ccfg := DefaultChurnConfig()
+	ccfg.Events = 500
+	churn := NewChurn(scen, ccfg)
+	var admits int
+	for {
+		ev, ok := churn.Next()
+		if !ok {
+			break
+		}
+		if d := svc.Decide(ev); ev.Kind == OnlineArrive && d.Admitted {
+			admits++
+		}
+	}
+	if admits == 0 {
+		t.Fatal("no arrival admitted over 500 churn events")
+	}
+	a := svc.Flush()
+	if err := a.Validate(); err != nil {
+		t.Fatalf("flushed allocation invalid: %v", err)
+	}
+	if svc.Profit() <= 0 {
+		t.Fatalf("profit %v after churn", svc.Profit())
+	}
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"testing"
+)
+
+// TestOnlinebenchSmoke runs both modes on a small instance: the CI
+// retention gate in miniature. Throughput is not gated here — test
+// hosts are too noisy for a dec/s floor — but the profit-retention
+// gate and the report shape are.
+func TestOnlinebenchSmoke(t *testing.T) {
+	cfg := config{
+		clients:      120,
+		clusters:     4,
+		seed:         1,
+		events:       8000,
+		absentFrac:   0.3,
+		commitRel:    0.20,
+		commitFloor:  30,
+		flash:        true,
+		minRetention: 0.99,
+	}
+	rep, failures, err := execute(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failures) > 0 {
+		t.Fatalf("gate failures: %v", failures)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(rep.Rows))
+	}
+	for _, r := range rep.Rows {
+		if r.Events != cfg.events {
+			t.Fatalf("%s: %d events recorded, want %d", r.Mode, r.Events, cfg.events)
+		}
+		if r.DecisionsPerSec <= 0 || r.P99Latency <= 0 {
+			t.Fatalf("%s: empty throughput/latency: %+v", r.Mode, r)
+		}
+		if r.Admits == 0 {
+			t.Fatalf("%s: churn stream admitted nothing", r.Mode)
+		}
+		if r.Retention < cfg.minRetention {
+			t.Fatalf("%s: retention %.4f below %.2f", r.Mode, r.Retention, cfg.minRetention)
+		}
+	}
+	if sync := rep.Rows[0]; sync.Commits == 0 {
+		t.Fatal("sync run never committed — thresholds too high for the stream")
+	}
+}

@@ -226,9 +226,40 @@ func (ix *Index) refreshCluster(k model.ClusterID) {
 // terms obey the same inequalities), so estimate-threshold pruning in
 // the greedy phase is sound too.
 func (ix *Index) GainUpperBound(i model.ClientID, k model.ClusterID) (bound float64, ok bool) {
+	cl := &ix.a.scen.Clients[i]
+	return ix.GainUpperBoundAt(i, k, cl.ArrivalRate, cl.PredictedRate, PendingLoad{})
+}
+
+// PendingLoad is uncommitted load the online service has admitted to a
+// cluster but not yet written into the allocation: share-equivalents
+// (Σ λ̃·t / maxCap over pending clients) subtracted from the cluster's
+// free totals before the bound is computed. Negative values (net
+// departures) add headroom back. Only the aggregate free totals are
+// shaded — the per-server maxima cannot be attributed without knowing
+// which servers the pending clients would land on, so the bound stays an
+// upper bound (shading only ever tightens the feasibility screens).
+type PendingLoad struct {
+	Proc float64 // pending processing share-equivalents (λ̃·tp/maxProcCap units)
+	Comm float64 // pending communication share-equivalents
+}
+
+// GainUpperBoundAt is GainUpperBound with the client's rates supplied by
+// the caller instead of read from the scenario, and with uncommitted
+// pending load shading the cluster's free totals. The online service's
+// lock-free decision path uses it so it never reads the mutable
+// ArrivalRate/PredictedRate fields the commit path rewrites — only the
+// client's immutable ProcTime/CommTime/DiskNeed and the frozen snapshot's
+// aggregates.
+func (ix *Index) GainUpperBoundAt(i model.ClientID, k model.ClusterID,
+	arrivalRate, predictedRate float64, pend PendingLoad) (bound float64, ok bool) {
 	st := &ix.statics[k]
 	agg := &ix.aggs[k]
 	cl := &ix.a.scen.Clients[i]
+
+	freeProc := agg.freeProc - pend.Proc
+	freeComm := agg.freeComm - pend.Comm
+	freeProcAct := agg.freeProcAct - pend.Proc
+	freeCommAct := agg.freeCommAct - pend.Comm
 
 	// Feasibility screens: each mirrors a constraint Assign/PlacementGain
 	// enforces exactly, relaxed to cluster aggregates so a violation here
@@ -236,16 +267,16 @@ func (ix *Index) GainUpperBound(i model.ClientID, k model.ClusterID) (bound floa
 	if agg.maxFreeDisk+_shareTol < cl.DiskNeed {
 		return 0, false // no server has the disk (constraints 5, 8)
 	}
-	needProc := cl.PredictedRate * cl.ProcTime / st.maxProcCap
-	if agg.freeProc+st.shareSlack <= needProc {
+	needProc := predictedRate * cl.ProcTime / st.maxProcCap
+	if freeProc+st.shareSlack <= needProc {
 		return 0, false // total free share cannot sustain the load (4, 7)
 	}
-	needComm := cl.PredictedRate * cl.CommTime / st.maxCommCap
-	if agg.freeComm+st.shareSlack <= needComm {
+	needComm := predictedRate * cl.CommTime / st.maxCommCap
+	if freeComm+st.shareSlack <= needComm {
 		return 0, false
 	}
 
-	utilFloor := st.minUtilCostPerProcCap * cl.PredictedRate * cl.ProcTime
+	utilFloor := st.minUtilCostPerProcCap * predictedRate * cl.ProcTime
 	u := ix.a.scen.Utility(i)
 	bound = math.Inf(-1)
 
@@ -257,12 +288,12 @@ func (ix *Index) GainUpperBound(i model.ClientID, k model.ClusterID) (bound floa
 	// the "upper" bound below an achievable gain.
 	if agg.active > 0 &&
 		agg.maxFreeDiskAct+_shareTol >= cl.DiskNeed &&
-		agg.freeProcAct+st.shareSlack > cl.PredictedRate*cl.ProcTime/agg.maxProcCapAct &&
-		agg.freeCommAct+st.shareSlack > cl.PredictedRate*cl.CommTime/agg.maxCommCapAct {
+		freeProcAct+st.shareSlack > predictedRate*cl.ProcTime/agg.maxProcCapAct &&
+		freeCommAct+st.shareSlack > predictedRate*cl.CommTime/agg.maxCommCapAct {
 		phiP := agg.maxFreeProcAct + _shareTol
 		phiB := agg.maxFreeCommAct + _shareTol
 		rLB := cl.ProcTime/(phiP*agg.maxProcCapAct) + cl.CommTime/(phiB*agg.maxCommCapAct)
-		bound = cl.ArrivalRate*u.Value(rLB) - utilFloor
+		bound = arrivalRate*u.Value(rLB) - utilFloor
 		ok = true
 	}
 
@@ -272,7 +303,7 @@ func (ix *Index) GainUpperBound(i model.ClientID, k model.ClusterID) (bound floa
 		phiP := agg.maxFreeProc + _shareTol
 		phiB := agg.maxFreeComm + _shareTol
 		rLB := cl.ProcTime/(phiP*st.maxProcCap) + cl.CommTime/(phiB*st.maxCommCap)
-		if b := cl.ArrivalRate*u.Value(rLB) - utilFloor - agg.minFixedInact; !ok || b > bound {
+		if b := arrivalRate*u.Value(rLB) - utilFloor - agg.minFixedInact; !ok || b > bound {
 			bound = b
 		}
 		ok = true

@@ -62,6 +62,9 @@ func (s *Solver) reassignmentPassSequential(ctx context.Context, a *alloc.Alloca
 	var seen []model.ServerID // portionServerCost dedup scratch
 	for ci := 0; ci < s.scen.NumClients(); ci++ {
 		i := model.ClientID(ci)
+		if s.scen.Clients[ci].PredictedRate == 0 {
+			continue // absent client: nothing to move or admit
+		}
 		prevK, prevPortions := a.Unassign(i)
 
 		// Marginal profit of a candidate placement vs staying out.

@@ -173,6 +173,9 @@ func (s *Solver) reassignmentPassPipelined(ctx context.Context, a *alloc.Allocat
 	sumVer := a.ClusterVersionSum()
 	toScore := st.toScore[:0]
 	for ci := 0; ci < n; ci++ {
+		if s.scen.Clients[ci].PredictedRate == 0 {
+			continue // absent client: never scored, never re-admitted
+		}
 		if st.marks[ci].stale(a, model.ClientID(ci), sumVer) {
 			toScore = append(toScore, model.ClientID(ci))
 		}

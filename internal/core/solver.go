@@ -230,6 +230,9 @@ func (s *Solver) buildInitial(a *alloc.Allocation, rng *rand.Rand, ref telemetry
 	order := rng.Perm(s.scen.NumClients())
 	for _, ci := range order {
 		i := model.ClientID(ci)
+		if s.scen.Clients[i].PredictedRate == 0 {
+			continue // absent client (zero rate): nothing to place
+		}
 		if err := s.placeBest(a, i, gs); err != nil && !errors.Is(err, ErrCannotPlace) {
 			return err
 		}

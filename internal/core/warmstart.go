@@ -52,6 +52,9 @@ func (s *Solver) SolveFromCtx(ctx context.Context, prev *alloc.Allocation) (*all
 	var displaced []model.ClientID
 	for i := 0; i < s.scen.NumClients(); i++ {
 		id := model.ClientID(i)
+		if s.scen.Clients[i].PredictedRate == 0 {
+			continue // departed since prev: drop the old placement, don't re-place
+		}
 		if !prev.Assigned(id) {
 			displaced = append(displaced, id)
 			continue

@@ -3,10 +3,13 @@ package dispatch
 import (
 	"math"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/alloc"
 	"repro/internal/model"
+	"repro/internal/parallel"
 )
 
 func TestNewRejectsBadPortions(t *testing.T) {
@@ -76,4 +79,89 @@ func TestFractionBeforeRouting(t *testing.T) {
 	if d.Fraction(0) != 0 {
 		t.Fatal("fraction before routing should be 0")
 	}
+}
+
+// TestRouteConcurrent hammers one dispatcher from many goroutines, each
+// holding its own seed-split RNG (the documented concurrency contract).
+// Run under -race this pins that counts/total are atomic; the frequency
+// check pins that concurrent increments are not lost.
+func TestRouteConcurrent(t *testing.T) {
+	d, err := New([]alloc.Portion{
+		{Server: 0, Alpha: 0.6},
+		{Server: 1, Alpha: 0.4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	const perWorker = 20000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(parallel.SplitSeed(42, uint64(w))))
+			for i := 0; i < perWorker; i++ {
+				d.Route(rng)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := d.Total(); got != workers*perWorker {
+		t.Fatalf("lost updates: total = %d, want %d", got, workers*perWorker)
+	}
+	if got := d.Fraction(0); math.Abs(got-0.6) > 0.02 {
+		t.Fatalf("portion 0 frequency %v, want ≈0.6", got)
+	}
+}
+
+// TestRouteAllocFree pins the hot path allocation-free: the simulator
+// calls Route once per simulated request.
+func TestRouteAllocFree(t *testing.T) {
+	d, err := New([]alloc.Portion{
+		{Server: 0, Alpha: 0.5},
+		{Server: 1, Alpha: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	if n := testing.AllocsPerRun(1000, func() { d.Route(rng) }); n != 0 {
+		t.Fatalf("Route allocates %v times per call, want 0", n)
+	}
+}
+
+func BenchmarkRoute(b *testing.B) {
+	d, err := New([]alloc.Portion{
+		{Server: 0, Alpha: 0.3},
+		{Server: 1, Alpha: 0.3},
+		{Server: 2, Alpha: 0.4},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Route(rng)
+	}
+}
+
+func BenchmarkRouteParallel(b *testing.B) {
+	d, err := New([]alloc.Portion{
+		{Server: 0, Alpha: 0.3},
+		{Server: 1, Alpha: 0.3},
+		{Server: 2, Alpha: 0.4},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var worker atomic.Uint64
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(parallel.SplitSeed(1, worker.Add(1))))
+		for pb.Next() {
+			d.Route(rng)
+		}
+	})
 }

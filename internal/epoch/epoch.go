@@ -275,22 +275,9 @@ func sameServers(a, b []alloc.Portion) bool {
 }
 
 // CloneScenario deep-copies a scenario so callers can mutate rates
-// without touching the original.
+// without touching the original. It now lives in internal/model (the
+// online service needs it without importing epoch); this alias keeps the
+// historical epoch-level name working.
 func CloneScenario(s *model.Scenario) *model.Scenario {
-	c := &model.Scenario{
-		Cloud: model.Cloud{
-			ServerClasses:  append([]model.ServerClass(nil), s.Cloud.ServerClasses...),
-			UtilityClasses: append([]model.UtilityClass(nil), s.Cloud.UtilityClasses...),
-			Clusters:       make([]model.Cluster, len(s.Cloud.Clusters)),
-			Servers:        append([]model.Server(nil), s.Cloud.Servers...),
-		},
-		Clients: append([]model.Client(nil), s.Clients...),
-	}
-	for k, cl := range s.Cloud.Clusters {
-		c.Cloud.Clusters[k] = model.Cluster{
-			ID:      cl.ID,
-			Servers: append([]model.ServerID(nil), cl.Servers...),
-		}
-	}
-	return c
+	return model.CloneScenario(s)
 }

@@ -1,0 +1,79 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+	"time"
+)
+
+// OnlineRow reports one onlinebench run: a seeded churn stream slammed
+// through the online allocation service, with decision throughput,
+// latency percentiles, commit behavior, and the profit retained versus a
+// cold full re-solve of the true final scenario.
+type OnlineRow struct {
+	// Mode is "sync" (deterministic inline commits) or "background"
+	// (commits on a dedicated goroutine).
+	Mode     string `json:"mode"`
+	Clients  int    `json:"clients"`
+	Clusters int    `json:"clusters"`
+	Seed     int64  `json:"seed"`
+	Events   int    `json:"events"`
+	// Flash reports whether the stream included a flash-crowd burst.
+	Flash bool `json:"flash"`
+	// CommitRel/CommitFloor are the deferred-commit thresholds.
+	CommitRel   float64 `json:"commit_rel"`
+	CommitFloor float64 `json:"commit_floor"`
+
+	// Throughput and latency of the decision path.
+	Elapsed         time.Duration `json:"elapsed_ns"`
+	DecisionsPerSec float64       `json:"decisions_per_sec"`
+	P50Latency      time.Duration `json:"p50_latency_ns"`
+	P99Latency      time.Duration `json:"p99_latency_ns"`
+
+	// Decision mix and write filtering.
+	Admits  int64 `json:"admits"`
+	Rejects int64 `json:"rejects"`
+	Commits int64 `json:"commits"`
+	// EventsPerCommit is the write-filter amortization: decisions per
+	// ledger commit (0 when nothing committed).
+	EventsPerCommit float64 `json:"events_per_commit"`
+
+	// Profit retention vs a cold full re-solve on the final scenario.
+	OnlineProfit float64 `json:"online_profit"`
+	ColdProfit   float64 `json:"cold_profit"`
+	// Retention is OnlineProfit/ColdProfit (1 = no loss).
+	Retention float64 `json:"retention"`
+}
+
+// OnlineReport is the BENCH_online.json schema.
+type OnlineReport struct {
+	BenchMeta
+	Rows []OnlineRow `json:"rows"`
+}
+
+// WriteOnlineJSON writes the report in the BENCH_*.json house format.
+func WriteOnlineJSON(w io.Writer, rep *OnlineReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// OnlineTable renders the human-readable summary.
+func OnlineTable(rep *OnlineReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Online serving: streaming admission/placement (GOMAXPROCS=%d, %d CPUs, %s)\n",
+		rep.GoMaxProcs, rep.NumCPU, rep.GoVersion)
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "mode\tclients\tevents\tflash\tdec/s\tp50\tp99\tadmits\trejects\tcommits\tev/commit\tonline\tcold\tretention")
+	for _, r := range rep.Rows {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%v\t%.0f\t%s\t%s\t%d\t%d\t%d\t%.0f\t%.2f\t%.2f\t%.4f\n",
+			r.Mode, r.Clients, r.Events, r.Flash, r.DecisionsPerSec,
+			r.P50Latency, r.P99Latency, r.Admits, r.Rejects, r.Commits,
+			r.EventsPerCommit, r.OnlineProfit, r.ColdProfit, r.Retention)
+	}
+	w.Flush()
+	return b.String()
+}

@@ -29,11 +29,17 @@ func (cl Client) Validate(c *Cloud) error {
 	if int(cl.Class) < 0 || int(cl.Class) >= len(c.UtilityClasses) {
 		return fmt.Errorf("client %d: unknown utility class %d", cl.ID, cl.Class)
 	}
-	if cl.ArrivalRate <= 0 {
-		return fmt.Errorf("client %d: non-positive arrival rate", cl.ID)
+	if cl.ArrivalRate < 0 {
+		return fmt.Errorf("client %d: negative arrival rate", cl.ID)
 	}
-	if cl.PredictedRate <= 0 {
-		return fmt.Errorf("client %d: non-positive predicted rate", cl.ID)
+	if cl.PredictedRate < 0 {
+		return fmt.Errorf("client %d: negative predicted rate", cl.ID)
+	}
+	// Both rates zero marks an absent client (departed, or not yet
+	// arrived — the online service models churn this way); exactly one
+	// zero is a contradiction between contract and provisioning.
+	if (cl.ArrivalRate == 0) != (cl.PredictedRate == 0) {
+		return fmt.Errorf("client %d: one of arrival/predicted rate is zero, the other positive", cl.ID)
 	}
 	if cl.ProcTime <= 0 || cl.CommTime <= 0 {
 		return fmt.Errorf("client %d: non-positive execution time", cl.ID)
@@ -49,6 +55,29 @@ func (cl Client) Validate(c *Cloud) error {
 type Scenario struct {
 	Cloud   Cloud    `json:"cloud"`
 	Clients []Client `json:"clients"`
+}
+
+// CloneScenario deep-copies a scenario so callers can mutate rates
+// without touching the original. The epoch controller uses it to realize
+// drifted epochs; the online service clones its input once and owns the
+// copy for the lifetime of the service.
+func CloneScenario(s *Scenario) *Scenario {
+	c := &Scenario{
+		Cloud: Cloud{
+			ServerClasses:  append([]ServerClass(nil), s.Cloud.ServerClasses...),
+			UtilityClasses: append([]UtilityClass(nil), s.Cloud.UtilityClasses...),
+			Clusters:       make([]Cluster, len(s.Cloud.Clusters)),
+			Servers:        append([]Server(nil), s.Cloud.Servers...),
+		},
+		Clients: append([]Client(nil), s.Clients...),
+	}
+	for k, cl := range s.Cloud.Clusters {
+		c.Cloud.Clusters[k] = Cluster{
+			ID:      cl.ID,
+			Servers: append([]ServerID(nil), cl.Servers...),
+		}
+	}
+	return c
 }
 
 // Utility returns the utility class of client i.

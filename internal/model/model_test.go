@@ -122,8 +122,12 @@ func TestScenarioValidate(t *testing.T) {
 		{"no clients", func(s *Scenario) { s.Clients = nil }},
 		{"bad client id", func(s *Scenario) { s.Clients[1].ID = 7 }},
 		{"unknown class", func(s *Scenario) { s.Clients[0].Class = 9 }},
-		{"zero arrival", func(s *Scenario) { s.Clients[0].ArrivalRate = 0 }},
-		{"zero predicted", func(s *Scenario) { s.Clients[0].PredictedRate = 0 }},
+		{"zero arrival only", func(s *Scenario) { s.Clients[0].ArrivalRate = 0 }},
+		{"zero predicted only", func(s *Scenario) { s.Clients[0].PredictedRate = 0 }},
+		{"negative arrival", func(s *Scenario) {
+			s.Clients[0].ArrivalRate = -1
+			s.Clients[0].PredictedRate = -1
+		}},
 		{"zero exec", func(s *Scenario) { s.Clients[0].ProcTime = 0 }},
 		{"negative disk", func(s *Scenario) { s.Clients[0].DiskNeed = -1 }},
 	}
@@ -235,5 +239,36 @@ func TestBreakEvenConsistency(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestAbsentClientValidates pins the zero-rate convention the online
+// service relies on: both rates zero marks an absent (departed or
+// not-yet-arrived) client and is valid; exactly one zero is not.
+func TestAbsentClientValidates(t *testing.T) {
+	s := tinyScenario()
+	s.Clients[0].ArrivalRate = 0
+	s.Clients[0].PredictedRate = 0
+	if err := s.Validate(); err != nil {
+		t.Fatalf("absent client rejected: %v", err)
+	}
+}
+
+// TestCloneScenarioIsDeep pins that mutating a clone's rates and cluster
+// membership never leaks into the original.
+func TestCloneScenarioIsDeep(t *testing.T) {
+	s := tinyScenario()
+	c := CloneScenario(s)
+	c.Clients[0].ArrivalRate = 99
+	c.Cloud.Clusters[0].Servers[0] = 2
+	if s.Clients[0].ArrivalRate == 99 {
+		t.Fatal("clone shares the client slice")
+	}
+	if s.Cloud.Clusters[0].Servers[0] == 2 {
+		t.Fatal("clone shares a cluster's server slice")
+	}
+	if err := c.Validate(); err == nil {
+		// Mutated clone may or may not validate; the point is isolation.
+		_ = err
 	}
 }

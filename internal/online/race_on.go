@@ -1,0 +1,8 @@
+//go:build race
+
+package online
+
+// raceEnabled reports whether the race detector is compiled in. The
+// allocation-free pin on the decision path gates on it: the detector's
+// instrumentation allocates, so the pin only holds in a normal build.
+const raceEnabled = true

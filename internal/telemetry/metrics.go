@@ -106,6 +106,17 @@ var DurationBuckets = []float64{
 	1, 2.5, 5, 10, 30, 60, 120, 300, 600,
 }
 
+// MicroBuckets spans 100ns to 100ms for per-event decision latencies.
+// The online service's hot path is a handful of atomic loads — decisions
+// land in the sub-microsecond decades where every DurationBuckets
+// observation would collapse into the first bucket. The top decades
+// overlap DurationBuckets so the occasional inline commit (a warm
+// re-solve, milliseconds) still lands in a finite bucket.
+var MicroBuckets = []float64{
+	1e-7, 2.5e-7, 5e-7, 1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 1e-1,
+}
+
 // SizeBuckets spans 64B to 4MB for message-size metrics.
 var SizeBuckets = []float64{64, 256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304}
 

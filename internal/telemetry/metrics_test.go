@@ -223,3 +223,34 @@ func TestDurationBucketsCoverMinutes(t *testing.T) {
 		}
 	}
 }
+
+// TestMicroBucketsCoverDecisionLatencies pins the fine-grained preset the
+// online decision path uses: a few hundred nanoseconds must land in a
+// low bucket, not collapse into the first DurationBuckets bucket, and an
+// inline-commit observation (milliseconds) must still resolve finitely.
+func TestMicroBucketsCoverDecisionLatencies(t *testing.T) {
+	if bottom := MicroBuckets[0]; bottom != 1e-7 {
+		t.Fatalf("MicroBuckets start at %vs, want 100ns", bottom)
+	}
+	if top := MicroBuckets[len(MicroBuckets)-1]; top != 1e-1 {
+		t.Fatalf("MicroBuckets top out at %vs, want 0.1s", top)
+	}
+	r := NewRegistry()
+	h := r.Histogram("decide_seconds", MicroBuckets)
+	h.Observe(750e-9) // a typical lock-free decision
+	h.Observe(3e-3)   // an inline commit (warm re-solve)
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	text := sb.String()
+	for _, want := range []string{
+		`decide_seconds_bucket{le="0.0000005"} 0`,
+		`decide_seconds_bucket{le="0.000001"} 1`,
+		`decide_seconds_bucket{le="0.0025"} 1`,
+		`decide_seconds_bucket{le="0.005"} 2`,
+		`decide_seconds_bucket{le="+Inf"} 2`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
